@@ -1,0 +1,53 @@
+"""Shared fixtures for the per-figure reproduction benchmarks.
+
+The paper's evaluation (Section IV) is one experiment — profiled
+distributed triangle counting on an R-MAT graph — observed through four
+trace products.  All figure benchmarks therefore share the same four runs
+({1, 2} nodes × {cyclic, range}), materialized once per session.
+
+Artifacts (SVG charts, text series) land in ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_case_study
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def outdir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def run_1n_cyclic():
+    return run_case_study(nodes=1, distribution="cyclic")
+
+
+@pytest.fixture(scope="session")
+def run_1n_range():
+    return run_case_study(nodes=1, distribution="range")
+
+
+@pytest.fixture(scope="session")
+def run_2n_cyclic():
+    return run_case_study(nodes=2, distribution="cyclic")
+
+
+@pytest.fixture(scope="session")
+def run_2n_range():
+    return run_case_study(nodes=2, distribution="range")
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The simulations are deterministic, so repeated rounds only cost time.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,43 @@
+"""Ablation: Conveyors aggregation buffer capacity.
+
+The whole point of message aggregation is trading latency for bandwidth:
+larger buffers mean fewer, bigger network packets.  Sweeping the buffer
+capacity shows physical operation counts falling roughly linearly while
+logical counts stay fixed — and degenerate (tiny) buffers inflate the
+COMM share of total time.
+"""
+
+from conftest import once
+from repro.core.analysis import OverallSummary
+from repro.experiments import run_case_study
+
+
+def test_ablation_buffer_size(benchmark):
+    sizes = (8, 64, 512)
+
+    def sweep():
+        return {s: run_case_study(nodes=2, distribution="cyclic", buffer_items=s)
+                for s in sizes}
+
+    runs = once(benchmark, sweep)
+    print("\n[ablation] conveyor buffer capacity (2 nodes, 1D Cyclic)")
+    print(f"{'items':>6} {'physical ops':>13} {'local':>8} {'nonblock':>9} "
+          f"{'progress':>9} {'COMM %':>7} {'T_TOTAL(max)':>14}")
+    rows = {}
+    for s in sizes:
+        run = runs[s]
+        counts = run.profiler.physical.counts_by_type()
+        summary = OverallSummary.of(run.profiler.overall)
+        rows[s] = (run.profiler.physical.total_operations(), summary)
+        print(f"{s:>6} {rows[s][0]:>13,} {counts.get('local_send', 0):>8,} "
+              f"{counts.get('nonblock_send', 0):>9,} "
+              f"{counts.get('nonblock_progress', 0):>9,} "
+              f"{summary.mean_comm_frac:>6.1%} {summary.max_total_cycles:>14,}")
+
+    # identical logical work across the sweep
+    totals = {runs[s].profiler.logical.total_sends() for s in sizes}
+    assert len(totals) == 1
+    # more aggregation → fewer physical operations, monotonically
+    assert rows[8][0] > rows[64][0] > rows[512][0]
+    # and the answer never changes
+    assert len({runs[s].result.triangles for s in sizes}) == 1

@@ -1,0 +1,57 @@
+"""Ablation: network latency sensitivity.
+
+The value of message aggregation depends on how expensive the network is
+relative to compute.  Sweeping the inter-node latency shows (a) the COMM
+share of total time growing with latency, and (b) the aggregation benefit
+(buffer 64 vs buffer 2) widening — i.e. aggregation matters *more* on
+higher-latency fabrics, which is why the technique targets large
+distributed machines in the first place.
+"""
+
+from conftest import once
+from repro.apps.triangle import count_triangles
+from repro.core import ActorProf, ProfileFlags
+from repro.core.analysis import OverallSummary
+from repro.experiments.casestudy import case_study_graph, default_scale
+from repro.conveyors import ConveyorConfig
+from repro.machine import CostModel, MachineSpec
+
+
+def test_ablation_network_latency(benchmark):
+    graph = case_study_graph(max(default_scale() - 1, 6))
+    machine = MachineSpec.perlmutter_like(2, 8)
+    latencies = (500, 4000, 32000)
+
+    def run_one(latency, buffer_items):
+        cost = CostModel().scaled(net_latency_cycles=latency)
+        ap = ActorProf(ProfileFlags(enable_tcomm_profiling=True))
+        count_triangles(
+            graph, machine, "range", profiler=ap, cost=cost,
+            conveyor_config=ConveyorConfig(payload_words=2,
+                                           buffer_items=buffer_items),
+        )
+        return OverallSummary.of(ap.overall)
+
+    def sweep():
+        return {
+            lat: (run_one(lat, 64), run_one(lat, 2)) for lat in latencies
+        }
+
+    results = once(benchmark, sweep)
+    print("\n[ablation] network latency sensitivity (2 nodes, 1D Range)")
+    print(f"{'latency (cyc)':>14} {'COMM % (buf 64)':>16} "
+          f"{'T small-buf / T big-buf':>24}")
+    comm_fracs = []
+    benefits = []
+    for lat in latencies:
+        big, small = results[lat]
+        benefit = small.max_total_cycles / big.max_total_cycles
+        comm_fracs.append(big.mean_comm_frac)
+        benefits.append(benefit)
+        print(f"{lat:>14,} {big.mean_comm_frac:>15.1%} {benefit:>24.2f}")
+
+    # COMM share grows with latency
+    assert comm_fracs[0] < comm_fracs[-1]
+    # aggregation benefit widens with latency
+    assert benefits[0] < benefits[-1]
+    assert benefits[-1] > 1.5

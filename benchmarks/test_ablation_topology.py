@@ -1,0 +1,50 @@
+"""Ablation: Conveyors virtual topology (linear vs mesh on 2 nodes).
+
+The 2D mesh bounds each PE's peer set (row + column) at the cost of
+forwarding; the 1D linear topology sends directly to all 31 peers.  The
+trace structure shifts accordingly: mesh shows forwarding and strictly
+column-aligned nonblock_sends; linear shows direct inter-node sends
+between arbitrary pairs but more distinct network flows.
+"""
+
+from conftest import once
+from repro.experiments import run_case_study
+
+
+def test_ablation_topology(benchmark):
+    def sweep():
+        return {
+            topo: run_case_study(nodes=2, distribution="cyclic", topology=topo)
+            for topo in ("linear", "mesh")
+        }
+
+    runs = once(benchmark, sweep)
+    print("\n[ablation] conveyor topology (2 nodes, 1D Cyclic)")
+    stats = {}
+    for topo, run in runs.items():
+        phys = run.profiler.physical
+        counts = phys.counts_by_type()
+        nb = phys.matrix("nonblock_send")
+        flows = int((nb > 0).sum())
+        forwarded = sum(
+            ep.stats.forwarded
+            for slot in run.result.run.world._slots
+            for grp in slot.groups
+            for ep in grp.endpoints
+        )
+        stats[topo] = (counts, flows, forwarded)
+        print(f"  {topo:<7} ops={counts}  distinct network flows={flows}  "
+              f"forwarded items={forwarded:,}")
+
+    spec = runs["mesh"].setup.machine
+    # mesh: every network flow stays in its column; linear: many do not
+    nb_mesh = runs["mesh"].profiler.physical.matrix("nonblock_send")
+    for src in range(spec.n_pes):
+        for dst in range(spec.n_pes):
+            if nb_mesh[src, dst]:
+                assert spec.local_index(src) == spec.local_index(dst)
+    assert stats["linear"][1] > stats["mesh"][1]
+    # only the mesh forwards
+    assert stats["mesh"][2] > 0
+    assert stats["linear"][2] == 0
+    assert runs["mesh"].result.triangles == runs["linear"].result.triangles

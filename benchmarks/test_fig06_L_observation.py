@@ -1,0 +1,52 @@
+"""Figure 6: the (L) observation.
+
+The Range distribution assigns contiguous row blocks with boundaries
+balancing #nnz; because the matrix is lower triangular, a PE's rows only
+have non-zeros in columns at or below its own range, so every message
+flows to an equal-or-lower-ranked PE ("PEq stores edge portions belonging
+to PE0..q") and total incoming communication decreases with PE index.
+
+This bench verifies the observation analytically (ownership monotonicity
+over every stored edge) and empirically (the logical matrix is strictly
+lower triangular).
+"""
+
+import numpy as np
+
+from conftest import once
+from repro.core.analysis import is_lower_triangular_comm
+from repro.graphs.distributions import RangeDistribution
+
+
+def test_fig06_L_observation(benchmark, run_1n_range, run_2n_range, outdir):
+    graph = run_1n_range.graph
+
+    def analyze():
+        out = {}
+        for run in (run_1n_range, run_2n_range):
+            n_pes = run.setup.machine.n_pes
+            dist = RangeDistribution.from_graph(graph, n_pes)
+            # every wedge message (j, k) from row i goes to owner(j), j < i:
+            # ownership monotone in row index ⇒ owner(j) <= owner(i).
+            owners = dist.owner_array(np.arange(graph.n_vertices))
+            src_owner = owners[graph.rows]
+            dst_owner = owners[graph.cols]
+            out[n_pes] = bool((dst_owner <= src_owner).all())
+        return out
+
+    monotone = once(benchmark, analyze)
+    print("\n[Fig 6] (L) observation: edge ownership flows downward")
+    for n_pes, ok in monotone.items():
+        print(f"  {n_pes} PEs: owner(col) <= owner(row) for all edges: {ok}")
+        assert ok
+
+    for run, tag in ((run_1n_range, "1 node"), (run_2n_range, "2 nodes")):
+        m = run.profiler.logical.matrix()
+        assert is_lower_triangular_comm(m), f"{tag}: range matrix not (L)-shaped"
+        # PE0's column receives the most aggregate traffic among columns
+        recvs = m.sum(axis=0)
+        top_quarter = recvs[: len(recvs) // 4].sum()
+        bottom_quarter = recvs[-len(recvs) // 4 :].sum()
+        print(f"  {tag}: top-quarter PEs recv {top_quarter:,}, "
+              f"bottom-quarter recv {bottom_quarter:,}")
+        assert top_quarter > bottom_quarter

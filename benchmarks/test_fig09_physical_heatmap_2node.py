@@ -1,0 +1,80 @@
+"""Figure 9: Physical Trace Heatmap, 2 nodes (UP: 1D Cyclic, BOTTOM: 1D Range).
+
+With two nodes Conveyors switches to the 2D Mesh topology: "every PE is
+restricted to communicate with its row and column member PEs. PEs use
+local_send along the row and nonblock_send along the column."  The
+heatmaps' shapes reflect that topology for Cyclic, and the (L) observation
+for Range.
+"""
+
+import numpy as np
+
+from conftest import once
+from repro.core.viz.heatmap import heatmap_svg
+
+
+def _assert_mesh_structure(trace, spec):
+    local = trace.matrix("local_send")
+    nb = trace.matrix("nonblock_send")
+    prog = trace.matrix("nonblock_progress")
+    for src in range(spec.n_pes):
+        for dst in range(spec.n_pes):
+            if local[src, dst]:
+                assert spec.same_node(src, dst), (src, dst, "local_send crossed nodes")
+            if nb[src, dst] or prog[src, dst]:
+                assert not spec.same_node(src, dst), (src, dst, "nonblock within node")
+                assert spec.local_index(src) == spec.local_index(dst), (
+                    src, dst, "nonblock_send left its mesh column")
+    return local, nb, prog
+
+
+def test_fig09_physical_heatmap_2node(benchmark, run_2n_cyclic, run_2n_range, outdir):
+    cyc = run_2n_cyclic.profiler.physical
+    rng = run_2n_range.profiler.physical
+    spec = run_2n_cyclic.setup.machine
+
+    def render():
+        out = []
+        for tag, trace in (("cyclic", cyc), ("range", rng)):
+            out.append(heatmap_svg(
+                trace.matrix(),
+                title=f"Fig 9: physical, 2 nodes, 1D {tag.capitalize()} (all types)",
+            ))
+            out.append(heatmap_svg(
+                trace.matrix("local_send"),
+                title=f"Fig 9: local_send, 1D {tag.capitalize()}",
+            ))
+            out.append(heatmap_svg(
+                trace.matrix("nonblock_send"),
+                title=f"Fig 9: nonblock_send, 1D {tag.capitalize()}",
+            ))
+        return out
+
+    svgs = once(benchmark, render)
+    names = [
+        "fig09_physical_2node_cyclic.svg",
+        "fig09_physical_2node_cyclic_local.svg",
+        "fig09_physical_2node_cyclic_nonblock.svg",
+        "fig09_physical_2node_range.svg",
+        "fig09_physical_2node_range_local.svg",
+        "fig09_physical_2node_range_nonblock.svg",
+    ]
+    for name, svg in zip(names, svgs):
+        (outdir / name).write_text(svg)
+
+    print("\n[Fig 9] 2 nodes physical operation counts")
+    for tag, trace in (("1D Cyclic", cyc), ("1D Range", rng)):
+        counts = trace.counts_by_type()
+        print(f"  {tag}: {counts}")
+        assert counts.get("local_send", 0) > 0
+        assert counts.get("nonblock_send", 0) > 0
+        assert counts.get("nonblock_progress", 0) > 0
+        _assert_mesh_structure(trace, spec)
+
+    # Range's aggregate physical matrix is (mostly) lower triangular: the
+    # routed intermediate hops stay within the source's node-row, so a few
+    # cells can sit above the diagonal — allow a small spill.
+    mr = rng.matrix()
+    upper = np.triu(mr, k=1).sum()
+    print(f"  range physical above-diagonal fraction: {upper / mr.sum():.3f}")
+    assert upper / mr.sum() < 0.2

@@ -1,0 +1,66 @@
+"""Figure 12: Overall Profiling, 1 node (LHS: 1D Cyclic, RHS: 1D Range).
+
+Stacked T_MAIN/T_COMM/T_PROC bars, absolute and relative.  Paper findings
+asserted:
+
+* COMM is the bottleneck regime for both distributions,
+* MAIN stays a small fraction of total time,
+* PROC is small under Cyclic but ~20-24% under Range,
+* Range is ~2x faster in total time (gain comes from COMM).
+"""
+
+from conftest import once
+from repro.core.analysis import OverallSummary
+from repro.core.viz.stacked import stacked_bar_graph
+
+
+def check_overall_shapes(run_c, run_r, tag):
+    oc = OverallSummary.of(run_c.profiler.overall)
+    orr = OverallSummary.of(run_r.profiler.overall)
+    ratio = oc.max_total_cycles / orr.max_total_cycles
+    print(f"\n[{tag}] overall breakdown (mean fractions)")
+    print(f"  1D Cyclic: MAIN={oc.mean_main_frac:.1%} COMM={oc.mean_comm_frac:.1%} "
+          f"PROC={oc.mean_proc_frac:.1%}  T_TOTAL(max)={oc.max_total_cycles:,}")
+    print(f"  1D Range : MAIN={orr.mean_main_frac:.1%} COMM={orr.mean_comm_frac:.1%} "
+          f"PROC={orr.mean_proc_frac:.1%}  T_TOTAL(max)={orr.max_total_cycles:,}")
+    print(f"  total-time ratio cyclic/range: {ratio:.2f} (paper ~2x)")
+    # COMM regime is the bottleneck for both (paper's headline)
+    assert oc.mean_comm_frac > oc.mean_main_frac
+    assert oc.mean_comm_frac > oc.mean_proc_frac
+    assert orr.mean_comm_frac > orr.mean_main_frac
+    assert orr.mean_comm_frac > orr.mean_proc_frac
+    # MAIN constitutes a small share everywhere (paper: ≤5%)
+    assert oc.mean_main_frac < 0.10
+    assert orr.mean_main_frac < 0.15
+    # PROC: small in cyclic, ~20-24% in range
+    assert oc.mean_proc_frac < 0.12
+    assert 0.12 < orr.mean_proc_frac < 0.40
+    assert orr.mean_proc_frac > oc.mean_proc_frac
+    # Range ~2x faster overall
+    assert ratio > 1.5
+    return oc, orr
+
+
+def test_fig12_overall_1node(benchmark, run_1n_cyclic, run_1n_range, outdir):
+    def render():
+        out = []
+        for tag, run in (("cyclic", run_1n_cyclic), ("range", run_1n_range)):
+            for rel in (False, True):
+                out.append(stacked_bar_graph(
+                    run.profiler.overall, relative=rel,
+                    title=f"Fig 12: overall, 1 node, 1D {tag.capitalize()} "
+                          f"({'relative' if rel else 'absolute'})",
+                ))
+        return out
+
+    svgs = once(benchmark, render)
+    names = [
+        "fig12_overall_1node_cyclic_abs.svg",
+        "fig12_overall_1node_cyclic_rel.svg",
+        "fig12_overall_1node_range_abs.svg",
+        "fig12_overall_1node_range_rel.svg",
+    ]
+    for name, svg in zip(names, svgs):
+        (outdir / name).write_text(svg)
+
+    check_overall_shapes(run_1n_cyclic, run_1n_range, "Fig 12: 1 node")

@@ -1,0 +1,37 @@
+"""Figure 13: Overall Profiling, 2 nodes (LHS: 1D Cyclic, RHS: 1D Range).
+
+Same breakdown as Figure 12 at 32 PEs; the same shape targets hold.
+"""
+
+from conftest import once
+from repro.core.viz.stacked import stacked_bar_graph
+from test_fig12_overall_1node import check_overall_shapes
+
+
+def test_fig13_overall_2node(benchmark, run_2n_cyclic, run_2n_range, outdir):
+    def render():
+        out = []
+        for tag, run in (("cyclic", run_2n_cyclic), ("range", run_2n_range)):
+            for rel in (False, True):
+                out.append(stacked_bar_graph(
+                    run.profiler.overall, relative=rel,
+                    title=f"Fig 13: overall, 2 nodes, 1D {tag.capitalize()} "
+                          f"({'relative' if rel else 'absolute'})",
+                ))
+        return out
+
+    svgs = once(benchmark, render)
+    names = [
+        "fig13_overall_2node_cyclic_abs.svg",
+        "fig13_overall_2node_cyclic_rel.svg",
+        "fig13_overall_2node_range_abs.svg",
+        "fig13_overall_2node_range_rel.svg",
+    ]
+    for name, svg in zip(names, svgs):
+        (outdir / name).write_text(svg)
+
+    oc, orr = check_overall_shapes(run_2n_cyclic, run_2n_range, "Fig 13: 2 nodes")
+    # T_MAIN + T_COMM + T_PROC == T_TOTAL per PE (derivation identity)
+    for run in (run_2n_cyclic, run_2n_range):
+        ov = run.profiler.overall
+        assert ((ov.t_main + ov.t_comm() + ov.t_proc) == ov.t_total).all()

@@ -1,0 +1,52 @@
+"""Section IV-E: overhead of ActorProf tracing.
+
+The paper discusses trace-size growth and measurement perturbation.  This
+bench quantifies both in the reproduction: simulated-cycle totals must be
+IDENTICAL with profiling on and off (rdtsc-style observation, no
+perturbation — the property the paper engineered for by using raw rdtsc
+and compiled-out macros), while host-side wall time and trace memory grow.
+"""
+
+import time
+
+from conftest import once
+from repro.apps.triangle import count_triangles
+from repro.core import ActorProf, ProfileFlags
+from repro.experiments.casestudy import case_study_graph, default_scale
+from repro.machine import MachineSpec
+
+
+def test_overhead_of_tracing(benchmark):
+    # scalar sends so that sample_interval=1 records one PAPI row per send
+    # (the paper's per-send trace); scale is reduced accordingly
+    graph = case_study_graph(max(default_scale() - 2, 6))
+    machine = MachineSpec.perlmutter_like(1, 16)
+
+    def profiled():
+        ap = ActorProf(ProfileFlags.all(papi_sample_interval=1))
+        res = count_triangles(graph, machine, "cyclic", profiler=ap, batch=False)
+        return ap, res
+
+    t0 = time.perf_counter()
+    res_bare = count_triangles(graph, machine, "cyclic", batch=False)
+    bare_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    ap, res_prof = once(benchmark, profiled)
+    prof_wall = time.perf_counter() - t0
+
+    print("\n[§IV-E] tracing overhead")
+    print(f"  wall time: bare {bare_wall:.2f}s, fully traced {prof_wall:.2f}s "
+          f"({prof_wall / max(bare_wall, 1e-9):.2f}x)")
+    rows = sum(len(ap.papi_trace.rows(pe)) for pe in range(machine.n_pes))
+    print(f"  trace volume: {ap.logical.total_sends():,} logical sends, "
+          f"{rows:,} PAPI rows, {ap.physical.total_operations():,} physical ops")
+
+    # observation must not perturb the simulated execution
+    assert res_prof.triangles == res_bare.triangles
+    assert res_prof.per_pe_sends == res_bare.per_pe_sends
+    assert res_prof.run.clocks == res_bare.run.clocks, (
+        "profiling changed simulated timing — rdtsc observation must be free"
+    )
+    # every logical send produced a PAPI row at sample interval 1
+    assert rows == ap.logical.total_sends() + machine.n_pes  # + summary rows

@@ -1,0 +1,86 @@
+"""Strong scaling of the case-study workload (intro motivation).
+
+The paper motivates FA-BSP with strong/weak scaling of irregular
+applications.  This bench holds the graph fixed and sweeps 1 → 2 → 4
+nodes (16 PEs each), reporting simulated total cycles, communication
+share, and parallel efficiency.  Expectations asserted: per-PE MAIN work
+shrinks with more PEs while the COMM share grows (communication-bound
+scaling, as the paper's applications exhibit).
+"""
+
+import numpy as np
+
+from conftest import once
+from repro.core.analysis import OverallSummary
+from repro.experiments import run_case_study
+
+
+def test_strong_scaling(benchmark):
+    node_counts = (1, 2, 4)
+
+    def sweep():
+        return {n: run_case_study(nodes=n, distribution="range") for n in node_counts}
+
+    runs = once(benchmark, sweep)
+    print("\n[scaling] strong scaling, 1D Range, fixed graph")
+    print(f"{'nodes':>6} {'PEs':>5} {'T_TOTAL(max)':>14} {'COMM %':>7} "
+          f"{'mean MAIN/PE':>13} {'speedup':>8} {'efficiency':>10}")
+    t1 = None
+    rows = {}
+    for n in node_counts:
+        run = runs[n]
+        s = OverallSummary.of(run.profiler.overall)
+        mean_main = float(run.profiler.overall.t_main.mean())
+        if t1 is None:
+            t1 = s.max_total_cycles
+        speedup = t1 / s.max_total_cycles
+        pes = run.setup.machine.n_pes
+        eff = speedup / (pes / runs[1].setup.machine.n_pes)
+        rows[n] = (s, mean_main, speedup, eff)
+        print(f"{n:>6} {pes:>5} {s.max_total_cycles:>14,} "
+              f"{s.mean_comm_frac:>6.1%} {mean_main:>13,.0f} "
+              f"{speedup:>8.2f} {eff:>10.2f}")
+
+    # per-PE MAIN work shrinks as PEs grow (the work is strong-scaled)
+    assert rows[1][1] > rows[2][1] > rows[4][1]
+    # answers identical at every scale
+    assert len({runs[n].result.triangles for n in node_counts}) == 1
+    # COMM share grows (or stays dominant) as the machine grows
+    assert rows[4][0].mean_comm_frac >= rows[1][0].mean_comm_frac - 0.05
+
+
+def test_weak_scaling(benchmark):
+    """Weak scaling: graph scale grows with node count (double the nodes,
+    double the vertices).  Ideal weak scaling keeps T_TOTAL flat; the
+    communication-bound workload deviates, and the bench reports by how
+    much."""
+    from repro.experiments.casestudy import default_scale
+
+    base = default_scale() - 2
+    configs = {1: base, 2: base + 1, 4: base + 2}
+
+    def sweep():
+        return {
+            n: run_case_study(nodes=n, distribution="range", scale=s)
+            for n, s in configs.items()
+        }
+
+    runs = once(benchmark, sweep)
+    print("\n[scaling] weak scaling, 1D Range, graph grows with machine")
+    t1 = None
+    totals = {}
+    for n, s in configs.items():
+        run = runs[n]
+        summ = OverallSummary.of(run.profiler.overall)
+        totals[n] = summ.max_total_cycles
+        if t1 is None:
+            t1 = summ.max_total_cycles
+        eff = t1 / summ.max_total_cycles
+        print(f"  {n} nodes, scale {s}: T_TOTAL(max)={summ.max_total_cycles:,} "
+              f"COMM={summ.mean_comm_frac:.1%} weak efficiency={eff:.2f}")
+        # every configuration still validates its triangle count
+        assert run.result.triangles == run.result.reference
+    # the workload per PE grows superlinearly for power-law graphs (hub
+    # wedges scale faster than vertices), so weak-scaled time rises — it
+    # just must stay within an order of magnitude to be meaningful
+    assert totals[4] < 20 * totals[1]

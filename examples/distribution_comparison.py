@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Using ActorProf to pick a data distribution.
+
+The paper's conclusion — "the Logical Trace Heatmap helps users examine
+and devise better-suited distributions" — as a workflow: run the same
+triangle-counting workload under cyclic, block and range distributions,
+let ActorProf quantify the imbalance each produces, and rank them.  A
+flat-degree Erdős–Rényi control shows the power law is the culprit.
+
+Run:  python examples/distribution_comparison.py
+"""
+
+import numpy as np
+
+from repro import ActorProf, MachineSpec, ProfileFlags
+from repro.apps.triangle import count_triangles
+from repro.core.analysis import OverallSummary, QuartileStats, imbalance_ratio
+from repro.graphs import LowerTriangular, erdos_renyi_edges, graph500_input
+from repro.machine import CostModel
+
+SCALE = 9
+MACHINE = MachineSpec.perlmutter_like(1, 16)
+
+
+def profile_distribution(graph, distribution):
+    ap = ActorProf(ProfileFlags.all(papi_sample_interval=64))
+    res = count_triangles(graph, MACHINE, distribution, profiler=ap)
+    return ap, res
+
+
+def report(tag, ap, res):
+    sends = np.array(res.per_pe_sends, dtype=float)
+    recvs = ap.logical.recvs_per_pe().astype(float)
+    total = OverallSummary.of(ap.overall)
+    s_st, r_st = QuartileStats.of(sends), QuartileStats.of(recvs)
+    print(f"\n--- {tag} ---")
+    print(f"  sends: median={s_st.median:.0f} max={s_st.maximum:.0f} "
+          f"imbalance={imbalance_ratio(sends):.2f}")
+    print(f"  recvs: median={r_st.median:.0f} max={r_st.maximum:.0f} "
+          f"imbalance={imbalance_ratio(recvs):.2f}")
+    print(f"  breakdown: MAIN={total.mean_main_frac:.0%} "
+          f"COMM={total.mean_comm_frac:.0%} PROC={total.mean_proc_frac:.0%}")
+    print(f"  T_TOTAL(max) = {total.max_total_cycles:,} cycles")
+    return total.max_total_cycles
+
+
+def main() -> None:
+    graph = LowerTriangular.from_edges(graph500_input(SCALE, seed=0))
+    print(f"R-MAT scale {SCALE}: {graph.n_vertices} vertices, {graph.nnz} edges")
+    print(f"triangles: {graph.triangle_count_reference()} (each run validates)")
+
+    totals = {}
+    for dist in ("cyclic", "block", "range"):
+        ap, res = profile_distribution(graph, dist)
+        totals[dist] = report(f"1D {dist.capitalize()} on R-MAT", ap, res)
+
+    ranking = sorted(totals, key=totals.get)
+    print(f"\nranking by total cycles: {' < '.join(ranking)}")
+    speedup = totals[ranking[-1]] / totals[ranking[0]]
+    print(f"best ({ranking[0]}) is {speedup:.1f}x faster than worst ({ranking[-1]})")
+
+    # control: same workload on a flat-degree graph
+    n = 1 << SCALE
+    er = LowerTriangular.from_edges(erdos_renyi_edges(n, 8 * n, seed=1))
+    ap, res = profile_distribution(er, "cyclic")
+    report("1D Cyclic on Erdős–Rényi (flat degrees)", ap, res)
+    print("\nconclusion: the cyclic imbalance is a property of the power-law "
+          "input, exactly what the Logical Trace Heatmap surfaces.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Simulated Conveyors message-aggregation library.
+
+A Python reconstruction of the bale *Conveyors* library's behaviour as the
+paper describes it:
+
+* push-style aggregation into fixed-capacity per-destination buffers,
+* a lazy-send policy — full buffers are sent during ``advance``; partial
+  buffers only in the endgame,
+* multi-hop routing over 1D linear / 2D mesh / 3D cube topologies where
+  row hops stay on a node (``local_send``: memcpy via ``shmem_ptr``) and
+  column hops cross nodes (``nonblock_send``: ``shmem_putmem_nbi``),
+* double buffering per remote destination, with ``nonblock_progress``
+  (``shmem_quiet`` + signalling ``shmem_put``) when both slots are
+  exhausted,
+* the bale porcelain API — ``push`` (fails when full), ``pull``,
+  ``advance(done)`` — plus vectorized batch variants used by large
+  workloads.
+
+ActorProf's physical trace (Section III-C of the paper) hooks into exactly
+the three calls above via :class:`~repro.conveyors.hooks.TraceSink`.
+"""
+
+from repro.conveyors.conveyor import Conveyor, ConveyorConfig, ConveyorGroup
+from repro.conveyors.exstack import Exstack, ExstackGroup
+from repro.conveyors.hooks import NullTraceSink, TraceSink
+from repro.conveyors.topology import (
+    CubeTopology,
+    LinearTopology,
+    MeshTopology,
+    Topology,
+    make_topology,
+)
+
+__all__ = [
+    "Conveyor",
+    "ConveyorConfig",
+    "ConveyorGroup",
+    "CubeTopology",
+    "Exstack",
+    "ExstackGroup",
+    "LinearTopology",
+    "MeshTopology",
+    "NullTraceSink",
+    "Topology",
+    "TraceSink",
+    "make_topology",
+]

@@ -1,0 +1,43 @@
+"""Instrumentation hook points inside Conveyors.
+
+The paper places ActorProf's physical-trace instrumentation *inside* the
+Conveyors library (compile flag ``-DENABLE_TRACE_PHYSICAL``), recording one
+record per network operation: ``local_send``, ``nonblock_send`` and
+``nonblock_progress``.  :class:`TraceSink` is the seam those hooks call
+through; :mod:`repro.core.physical` provides the real recorder and
+:class:`NullTraceSink` is the disabled (zero-overhead) default.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+#: The three instrumented Conveyors operations (paper Section III-C).
+SEND_TYPES = ("local_send", "nonblock_send", "nonblock_progress")
+
+
+class TraceSink(Protocol):
+    """Receiver of physical-trace records emitted from inside Conveyors."""
+
+    def record(self, send_type: str, nbytes: int, src_pe: int, dst_pe: int, time: int) -> None:
+        """Record one network operation.
+
+        Parameters
+        ----------
+        send_type:
+            One of :data:`SEND_TYPES`.
+        nbytes:
+            Buffer (network packet) size in bytes; the signal size for
+            ``nonblock_progress``.
+        src_pe / dst_pe:
+            The *physical* (routed) endpoints of this hop.
+        time:
+            The sender's cycle clock when the operation was issued.
+        """
+
+
+class NullTraceSink:
+    """Trace sink used when ``-DENABLE_TRACE_PHYSICAL`` is off."""
+
+    def record(self, send_type: str, nbytes: int, src_pe: int, dst_pe: int, time: int) -> None:  # noqa: D102
+        pass

@@ -1,0 +1,154 @@
+"""Conveyor routing topologies.
+
+Conveyors routes aggregated buffers over a *static* virtual topology
+(paper Section III-C): every (source, destination) pair has a fixed
+multi-hop route.  The shipped topologies are:
+
+* :class:`LinearTopology` (1D) — direct single-hop delivery.  This is what
+  a single-node run uses; every hop is intra-node, so the physical trace
+  contains only ``local_send`` records (paper Fig. 8).
+* :class:`MeshTopology` (2D) — PEs form a ``nodes × pes_per_node`` grid
+  (row = node).  A message first hops *along the row* to the PE in its
+  destination's column (intra-node ``local_send``), then *down the column*
+  to the destination (inter-node ``nonblock_send``) — paper Fig. 9.
+* :class:`CubeTopology` (3D) — the node-local index is split into two
+  axes; messages correct the two local axes first (two possible
+  ``local_send`` hops), then the node axis (``nonblock_send``).
+
+Routes never revisit a PE and always terminate: each hop strictly reduces
+the number of mismatched coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.machine.spec import MachineSpec
+
+
+class Topology(ABC):
+    """Route computation: the next hop a message takes toward its target."""
+
+    def __init__(self, spec: MachineSpec) -> None:
+        self.spec = spec
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short identifier used in configs and reports."""
+
+    @abstractmethod
+    def next_hop(self, current: int, final_dst: int) -> int:
+        """The PE a message at ``current`` is forwarded to next.
+
+        ``current == final_dst`` is a caller error: delivery happens before
+        routing is consulted.
+        """
+
+    def route(self, src: int, dst: int) -> list[int]:
+        """Full hop list from ``src`` to ``dst`` (excluding ``src``)."""
+        hops: list[int] = []
+        cur = src
+        while cur != dst:
+            cur = self.next_hop(cur, dst)
+            hops.append(cur)
+            if len(hops) > 8:  # pragma: no cover - safety net
+                raise RuntimeError(f"routing loop from {src} to {dst}: {hops}")
+        return hops
+
+
+class LinearTopology(Topology):
+    """1D: every destination is one direct hop away."""
+
+    @property
+    def name(self) -> str:
+        return "linear"
+
+    def next_hop(self, current: int, final_dst: int) -> int:
+        if current == final_dst:
+            raise ValueError("message already at destination")
+        return final_dst
+
+
+class MeshTopology(Topology):
+    """2D: row = node, column = local index.  Row hop, then column hop."""
+
+    @property
+    def name(self) -> str:
+        return "mesh"
+
+    def next_hop(self, current: int, final_dst: int) -> int:
+        if current == final_dst:
+            raise ValueError("message already at destination")
+        spec = self.spec
+        cur_col = spec.local_index(current)
+        dst_col = spec.local_index(final_dst)
+        if cur_col != dst_col:
+            # Hop along my row (intra-node) into the destination's column.
+            return spec.pe_at(spec.node_of(current), dst_col)
+        # Same column: hop down the column (inter-node) to the target row.
+        return final_dst
+
+
+class CubeTopology(Topology):
+    """3D: local index split into (a, b) axes; route a, then b, then node.
+
+    ``a_dim`` defaults to the largest factor of ``pes_per_node`` not
+    exceeding its square root, giving the most cube-like local grid.
+    """
+
+    def __init__(self, spec: MachineSpec, a_dim: int | None = None) -> None:
+        super().__init__(spec)
+        ppn = spec.pes_per_node
+        if a_dim is None:
+            a_dim = 1
+            for cand in range(int(math.isqrt(ppn)), 0, -1):
+                if ppn % cand == 0:
+                    a_dim = cand
+                    break
+        if ppn % a_dim != 0:
+            raise ValueError(f"a_dim {a_dim} does not divide pes_per_node {ppn}")
+        self.a_dim = a_dim
+        self.b_dim = ppn // a_dim
+
+    @property
+    def name(self) -> str:
+        return "cube"
+
+    def _coords(self, pe: int) -> tuple[int, int, int]:
+        node = self.spec.node_of(pe)
+        local = self.spec.local_index(pe)
+        return (local % self.a_dim, local // self.a_dim, node)
+
+    def _pe(self, a: int, b: int, node: int) -> int:
+        return self.spec.pe_at(node, b * self.a_dim + a)
+
+    def next_hop(self, current: int, final_dst: int) -> int:
+        if current == final_dst:
+            raise ValueError("message already at destination")
+        ca, cb, cn = self._coords(current)
+        da, db, dn = self._coords(final_dst)
+        if ca != da:
+            return self._pe(da, cb, cn)  # intra-node: fix a-axis
+        if cb != db:
+            return self._pe(ca, db, cn)  # intra-node: fix b-axis
+        return self._pe(ca, cb, dn)  # inter-node: fix node axis
+
+
+def make_topology(kind: str, spec: MachineSpec) -> Topology:
+    """Construct a topology by name.
+
+    ``"auto"`` picks what the paper reports Conveyors doing: 1D linear on a
+    single node, 2D mesh on multiple nodes.
+    """
+    kind = kind.lower()
+    if kind == "auto":
+        kind = "linear" if spec.nodes == 1 else "mesh"
+    if kind == "linear":
+        return LinearTopology(spec)
+    if kind == "mesh":
+        return MeshTopology(spec)
+    if kind == "cube":
+        return CubeTopology(spec)
+    raise ValueError(f"unknown topology {kind!r}; want auto/linear/mesh/cube")

@@ -1,0 +1,261 @@
+"""The ``actorprof`` command-line visualizer.
+
+Mirrors the paper's run-time flags (Section III):
+
+* ``-l``  — logical trace heatmap (from ``PEi_send.csv``)
+* ``-lp`` — PAPI trace bar graph (from ``PEi_PAPI.csv``)
+* ``-s``  — overall stacked bar graph, absolute and relative
+  (from ``overall.txt``)
+* ``-p``  — physical trace heatmap (from ``physical.txt``)
+
+Like the paper's ``logical.py``/``physical.py``/``papi.py``/``Overall.py``
+scripts, the trace-directory path is a positional argument and the total
+number of PEs (``num_PEs``) is a required input.  SVG charts land next to
+the traces (or in ``--out``); text summaries print to stdout.
+
+Example::
+
+    actorprof -l -p -s traces/ --num-pes 16 --out charts/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.logical import parse_logical_dir
+from repro.core.overall import parse_overall_file
+from repro.core.papi_trace import parse_papi_dir
+from repro.core.physical import parse_physical_file
+from repro.core.report import (
+    mosaic_report,
+    overall_report,
+    papi_report,
+    physical_report,
+)
+from repro.core.viz.bars import grouped_bar_graph
+from repro.core.viz.heatmap import heatmap_svg
+from repro.core.viz.stacked import stacked_bar_graph
+from repro.core.viz.violin import violin_svg
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="actorprof",
+        description="ActorProf trace visualizer for FA-BSP executions",
+    )
+    parser.add_argument("trace_dir", type=Path,
+                        help="directory containing the trace files")
+    parser.add_argument("--num-pes", type=int, required=True,
+                        help="total number of PEs used in the run (num_PEs)")
+    parser.add_argument("-l", dest="logical", action="store_true",
+                        help="logical trace heatmap (PEi_send.csv)")
+    parser.add_argument("-lp", dest="papi", action="store_true",
+                        help="PAPI trace bar graph (PEi_PAPI.csv)")
+    parser.add_argument("-s", dest="overall", action="store_true",
+                        help="overall stacked bar graph (overall.txt)")
+    parser.add_argument("-p", dest="physical", action="store_true",
+                        help="physical trace heatmap (physical.txt)")
+    parser.add_argument("-t", dest="timeline", action="store_true",
+                        help="timeline + utilization charts (trace.json)")
+    parser.add_argument("--violin", action="store_true",
+                        help="also emit violin plots for -l / -p traces")
+    parser.add_argument("--compare", type=Path, default=None,
+                        metavar="OTHER_DIR",
+                        help="compare this trace directory (A) against "
+                             "another run's traces (B) for the selected "
+                             "-l / -s / -p products")
+    parser.add_argument("--query", action="append", default=[],
+                        metavar="'logical|physical: EXPR'",
+                        help="run a declarative trace query, e.g. "
+                             "\"logical: sends where src == 0 group by dst "
+                             "top 5\" (repeatable)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output directory for SVGs (default: trace dir)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress text reports on stdout")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not (args.logical or args.papi or args.overall or args.physical
+            or args.timeline or args.query):
+        print("nothing to do: pass at least one of -l, -lp, -s, -p, -t, "
+              "--query", file=sys.stderr)
+        return 2
+    if not args.trace_dir.is_dir():
+        print(f"trace directory {args.trace_dir} does not exist", file=sys.stderr)
+        return 2
+    out = args.out or args.trace_dir
+    out.mkdir(parents=True, exist_ok=True)
+    emitted: list[Path] = []
+
+    def say(text: str) -> None:
+        if not args.quiet:
+            print(text)
+
+    if args.compare is not None and not args.compare.is_dir():
+        print(f"compare directory {args.compare} does not exist",
+              file=sys.stderr)
+        return 2
+
+    try:
+        return _render(args, out, emitted, say)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"cannot read traces: {exc}", file=sys.stderr)
+        return 2
+
+
+def _render(args, out, emitted, say) -> int:
+    if args.logical:
+        trace = parse_logical_dir(args.trace_dir, args.num_pes)
+        path = out / "logical_heatmap.svg"
+        path.write_text(heatmap_svg(trace.matrix(), title="Logical trace heatmap"))
+        emitted.append(path)
+        if args.violin:
+            path = out / "logical_violin.svg"
+            path.write_text(violin_svg(
+                {"sends": trace.sends_per_pe(), "recvs": trace.recvs_per_pe()},
+                title="Logical trace send/recv quartiles",
+            ))
+            emitted.append(path)
+        say(mosaic_report(trace))
+
+    if args.papi:
+        trace = parse_papi_dir(args.trace_dir, args.num_pes)
+        series = {ev: trace.totals_per_pe(ev) for ev in trace.events}
+        path = out / "papi_bars.svg"
+        path.write_text(grouped_bar_graph(series, title="PAPI counters per PE"))
+        emitted.append(path)
+        say(papi_report(trace))
+
+    if args.overall:
+        profile = parse_overall_file(args.trace_dir)
+        for rel, name in ((False, "overall_absolute.svg"), (True, "overall_relative.svg")):
+            path = out / name
+            path.write_text(stacked_bar_graph(profile, relative=rel))
+            emitted.append(path)
+        say(overall_report(profile))
+
+    if args.physical:
+        trace = parse_physical_file(args.trace_dir, args.num_pes)
+        path = out / "physical_heatmap.svg"
+        path.write_text(heatmap_svg(trace.matrix(), title="Physical trace heatmap"))
+        emitted.append(path)
+        for kind in ("local_send", "nonblock_send"):
+            m = trace.matrix(kind)
+            if m.sum():
+                path = out / f"physical_heatmap_{kind}.svg"
+                path.write_text(heatmap_svg(m, title=f"Physical trace: {kind}"))
+                emitted.append(path)
+        if args.violin:
+            path = out / "physical_violin.svg"
+            path.write_text(violin_svg(
+                {"sends": trace.sends_per_pe(), "recvs": trace.recvs_per_pe()},
+                title="Physical trace send/recv quartiles",
+            ))
+            emitted.append(path)
+        # node-level hotspot view ("hotspots of 'node'", paper §III-D);
+        # node boundaries come from the logical trace's node columns
+        try:
+            from repro.core.analysis import aggregate_to_nodes
+
+            logical_spec = parse_logical_dir(args.trace_dir, args.num_pes).spec
+            if logical_spec.nodes > 1:
+                node_m = aggregate_to_nodes(trace.matrix(), logical_spec)
+                path = out / "physical_heatmap_nodes.svg"
+                path.write_text(heatmap_svg(
+                    node_m, title="Physical trace: node-level hotspots",
+                    xlabel="destination node", ylabel="source node",
+                ))
+                emitted.append(path)
+        except (FileNotFoundError, ValueError):
+            pass  # no logical trace to infer node boundaries from
+        say(physical_report(trace))
+
+    if args.compare is not None:
+        from repro.core.diffing import (
+            LogicalDiff,
+            OverallDiff,
+            PhysicalDiff,
+            compare_report,
+        )
+
+        logical_d = overall_d = physical_d = None
+        try:
+            if args.logical:
+                logical_d = LogicalDiff.of(
+                    parse_logical_dir(args.trace_dir, args.num_pes),
+                    parse_logical_dir(args.compare, args.num_pes),
+                )
+            if args.overall:
+                overall_d = OverallDiff.of(
+                    parse_overall_file(args.trace_dir),
+                    parse_overall_file(args.compare),
+                )
+            if args.physical:
+                physical_d = PhysicalDiff.of(
+                    parse_physical_file(args.trace_dir, args.num_pes),
+                    parse_physical_file(args.compare, args.num_pes),
+                )
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"compare failed: {exc}", file=sys.stderr)
+            return 2
+        print(compare_report(str(args.trace_dir), str(args.compare),
+                             logical_d, overall_d, physical_d))
+
+    if args.query:
+        from repro.core.query import QueryError, run_query
+
+        for spec_text in args.query:
+            target, _, expr = spec_text.partition(":")
+            target = target.strip().lower()
+            expr = expr.strip()
+            if target not in ("logical", "physical") or not expr:
+                print(f"bad --query {spec_text!r}: use 'logical: EXPR' or "
+                      f"'physical: EXPR'", file=sys.stderr)
+                return 2
+            try:
+                if target == "logical":
+                    trace = parse_logical_dir(args.trace_dir, args.num_pes)
+                else:
+                    trace = parse_physical_file(args.trace_dir, args.num_pes)
+                result = run_query(trace, expr)
+            except (QueryError, FileNotFoundError) as exc:
+                print(f"query failed: {exc}", file=sys.stderr)
+                return 2
+            print(f"[{target}] {expr}")
+            if isinstance(result, list):
+                for key, amount in result:
+                    print(f"  {key}: {amount:,}")
+            else:
+                print(f"  {result:,}")
+
+    if args.timeline:
+        from repro.core.export import timeline_from_chrome
+        from repro.core.viz.timeline_chart import timeline_svg, utilization_svg
+
+        trace_json = args.trace_dir / "trace.json"
+        if not trace_json.exists():
+            print(f"{trace_json} not found (run with enable_timeline=True)",
+                  file=sys.stderr)
+            return 2
+        tl, _spec = timeline_from_chrome(trace_json)
+        path = out / "timeline.svg"
+        path.write_text(timeline_svg(tl))
+        emitted.append(path)
+        path = out / "utilization.svg"
+        path.write_text(utilization_svg(tl))
+        emitted.append(path)
+        say(f"timeline: {tl.span_count()} spans, "
+            f"{len(tl.net_events())} network events, "
+            f"horizon {tl.end_time():,} cycles")
+
+    say("\nwrote: " + ", ".join(str(p) for p in emitted))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,142 @@
+"""Comparing two profiled runs (the case-study workflow, productized).
+
+The paper's analysis is intrinsically comparative — 1D Cyclic *versus*
+1D Range, one node *versus* two.  This module turns that into tooling:
+given two runs' traces, compute the per-PE and aggregate deltas and render
+a side-by-side report.  The CLI exposes it as ``--compare OTHER_DIR``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.analysis import imbalance_ratio
+from repro.core.logical import LogicalTrace
+from repro.core.overall import OverallProfile
+from repro.core.physical import PhysicalTrace
+
+
+def _ratio(a: float, b: float) -> float:
+    return float(a / b) if b else float("inf")
+
+
+@dataclass(frozen=True)
+class LogicalDiff:
+    """Logical-trace comparison of run A against run B."""
+
+    total_sends_a: int
+    total_sends_b: int
+    max_sends_ratio: float          # A's hottest sender vs B's
+    max_recvs_ratio: float
+    send_imbalance_a: float
+    send_imbalance_b: float
+    moved_messages: int             # |A - B| matrix mass (same shape only)
+
+    @classmethod
+    def of(cls, a: LogicalTrace, b: LogicalTrace) -> "LogicalDiff":
+        ma, mb = a.matrix(), b.matrix()
+        moved = int(np.abs(ma - mb).sum()) if ma.shape == mb.shape else -1
+        return cls(
+            total_sends_a=int(ma.sum()),
+            total_sends_b=int(mb.sum()),
+            max_sends_ratio=_ratio(ma.sum(axis=1).max(), mb.sum(axis=1).max()),
+            max_recvs_ratio=_ratio(ma.sum(axis=0).max(), mb.sum(axis=0).max()),
+            send_imbalance_a=imbalance_ratio(ma.sum(axis=1)),
+            send_imbalance_b=imbalance_ratio(mb.sum(axis=1)),
+            moved_messages=moved,
+        )
+
+
+@dataclass(frozen=True)
+class OverallDiff:
+    """Overall-profile comparison of run A against run B."""
+
+    total_ratio: float              # max T_TOTAL A / B (>1 ⇒ A slower)
+    main_share_a: float
+    main_share_b: float
+    comm_share_a: float
+    comm_share_b: float
+    proc_share_a: float
+    proc_share_b: float
+
+    @classmethod
+    def of(cls, a: OverallProfile, b: OverallProfile) -> "OverallDiff":
+        fa, fb = a.fractions(), b.fractions()
+        return cls(
+            total_ratio=_ratio(int(a.t_total.max()), int(b.t_total.max())),
+            main_share_a=float(fa[:, 0].mean()),
+            main_share_b=float(fb[:, 0].mean()),
+            comm_share_a=float(fa[:, 1].mean()),
+            comm_share_b=float(fb[:, 1].mean()),
+            proc_share_a=float(fa[:, 2].mean()),
+            proc_share_b=float(fb[:, 2].mean()),
+        )
+
+
+@dataclass(frozen=True)
+class PhysicalDiff:
+    """Physical-trace comparison of run A against run B."""
+
+    ops_a: dict[str, int]
+    ops_b: dict[str, int]
+    bytes_ratio: float
+
+    @classmethod
+    def of(cls, a: PhysicalTrace, b: PhysicalTrace) -> "PhysicalDiff":
+        return cls(
+            ops_a=a.counts_by_type(),
+            ops_b=b.counts_by_type(),
+            bytes_ratio=_ratio(int(a.bytes_matrix().sum()),
+                               int(b.bytes_matrix().sum())),
+        )
+
+
+def compare_report(
+    label_a: str,
+    label_b: str,
+    logical: LogicalDiff | None = None,
+    overall: OverallDiff | None = None,
+    physical: PhysicalDiff | None = None,
+) -> str:
+    """Render a text comparison of run A vs run B."""
+    lines = [f"== comparing {label_a!r} (A) vs {label_b!r} (B) =="]
+    if logical is not None:
+        d = logical
+        lines.append(
+            f"logical: sends A={d.total_sends_a:,} B={d.total_sends_b:,}; "
+            f"hottest-sender ratio {d.max_sends_ratio:.2f}x, "
+            f"hottest-receiver ratio {d.max_recvs_ratio:.2f}x"
+        )
+        lines.append(
+            f"logical: send imbalance A={d.send_imbalance_a:.2f} "
+            f"B={d.send_imbalance_b:.2f}"
+        )
+        if d.moved_messages >= 0:
+            lines.append(
+                f"logical: |A−B| matrix mass = {d.moved_messages:,} messages"
+            )
+    if overall is not None:
+        d = overall
+        verdict = "A slower" if d.total_ratio > 1 else "A faster"
+        lines.append(
+            f"overall: total-time ratio A/B = {d.total_ratio:.2f} ({verdict})"
+        )
+        lines.append(
+            f"overall: shares A MAIN/COMM/PROC = {d.main_share_a:.0%}/"
+            f"{d.comm_share_a:.0%}/{d.proc_share_a:.0%}; "
+            f"B = {d.main_share_b:.0%}/{d.comm_share_b:.0%}/{d.proc_share_b:.0%}"
+        )
+    if physical is not None:
+        d = physical
+        kinds = sorted(set(d.ops_a) | set(d.ops_b))
+        parts = [
+            f"{k}: {d.ops_a.get(k, 0):,} vs {d.ops_b.get(k, 0):,}"
+            for k in kinds
+        ]
+        lines.append("physical ops (A vs B): " + "; ".join(parts))
+        lines.append(f"physical wire bytes ratio A/B = {d.bytes_ratio:.2f}")
+    if logical is None and overall is None and physical is None:
+        lines.append("(no comparable traces found)")
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Trace export formats (paper Section VI future work).
+
+* :mod:`repro.core.export.chrome` — Google Trace Event format (the JSON
+  consumed by ``chrome://tracing`` and Perfetto).
+* :mod:`repro.core.export.otf` — a simplified Open Trace Format writer
+  (OTF1-style definition + event records).
+"""
+
+from repro.core.export.chrome import (
+    timeline_from_chrome,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.core.export.otf import write_otf
+
+__all__ = [
+    "timeline_from_chrome",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_otf",
+]

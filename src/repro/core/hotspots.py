@@ -1,0 +1,170 @@
+"""Hotspot identification and performance modelling over traces.
+
+The paper's Section VI names "intelligent sampling of traces and
+identifying hotspots using performance modeling" as an alternative lens on
+FA-BSP executions.  This module implements that lens over the traces
+ActorProf already collects:
+
+* **straggler detection** — PEs whose total cycles (or user-region work)
+  sit far above the mean,
+* **hot communication pairs** — the (source, destination) pairs carrying
+  the most messages, CrayPat-mosaic style,
+* **a balance model** — how much faster the run would be if the measured
+  per-PE work were spread evenly (the upper bound a better distribution
+  could reach),
+* **advice** — the textual suggestions the paper describes ActorProf
+  giving ("experiment with data-distributions", "exploit more overlap").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.analysis import imbalance_ratio
+from repro.core.logical import LogicalTrace
+from repro.core.overall import OverallProfile
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """A PE far above the mean on some load metric."""
+
+    pe: int
+    value: int
+    ratio_to_mean: float
+
+
+def find_stragglers(values: np.ndarray, threshold: float = 1.5) -> list[Straggler]:
+    """PEs whose value exceeds ``threshold`` × mean, sorted worst-first."""
+    values = np.asarray(values)
+    if values.size == 0:
+        return []
+    mean = float(values.mean())
+    if mean <= 0:
+        return []
+    out = [
+        Straggler(pe=int(i), value=int(values[i]),
+                  ratio_to_mean=float(values[i] / mean))
+        for i in np.flatnonzero(values > threshold * mean)
+    ]
+    return sorted(out, key=lambda s: -s.ratio_to_mean)
+
+
+@dataclass(frozen=True)
+class HotPair:
+    """One heavy communication pair."""
+
+    src: int
+    dst: int
+    messages: int
+    share: float
+
+
+def top_pairs(trace: LogicalTrace, k: int = 10) -> list[HotPair]:
+    """The ``k`` heaviest (src, dst) pairs with their traffic share."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    m = trace.matrix()
+    total = int(m.sum())
+    if total == 0:
+        return []
+    flat = m.ravel()
+    order = np.argsort(flat)[::-1][:k]
+    n = m.shape[0]
+    return [
+        HotPair(src=int(i // n), dst=int(i % n), messages=int(flat[i]),
+                share=float(flat[i] / total))
+        for i in order
+        if flat[i] > 0
+    ]
+
+
+@dataclass(frozen=True)
+class BalanceModel:
+    """Perfect-balance performance model.
+
+    ``t_actual`` is the measured makespan (max per-PE total cycles);
+    ``t_balanced`` models spreading each region's *work* evenly:
+    critical work = mean(MAIN) + mean(PROC) + max residual COMM that is
+    genuine per-PE communication cost rather than waiting (approximated
+    by the minimum COMM across PEs, which contains the least waiting).
+    """
+
+    t_actual: int
+    t_balanced: float
+    potential_speedup: float
+    dominant_region: str
+
+
+def balance_model(profile: OverallProfile) -> BalanceModel:
+    """Estimate the speedup available from perfect load balance."""
+    t_actual = int(profile.t_total.max())
+    mean_main = float(profile.t_main.mean())
+    mean_proc = float(profile.t_proc.mean())
+    comm = profile.t_comm()
+    base_comm = float(comm.min())  # least-waiting PE ≈ true comm cost
+    t_balanced = mean_main + mean_proc + base_comm
+    speedup = t_actual / t_balanced if t_balanced > 0 else 1.0
+    fracs = {
+        "MAIN": mean_main,
+        "PROC": mean_proc,
+        "COMM": float(comm.mean()),
+    }
+    dominant = max(fracs, key=fracs.get)
+    return BalanceModel(
+        t_actual=t_actual,
+        t_balanced=t_balanced,
+        potential_speedup=speedup,
+        dominant_region=dominant,
+    )
+
+
+def advise(
+    overall: OverallProfile | None = None,
+    logical: LogicalTrace | None = None,
+    threshold: float = 1.5,
+) -> list[str]:
+    """Generate the paper-style textual guidance from whatever traces exist."""
+    tips: list[str] = []
+    if logical is not None:
+        send_imb = imbalance_ratio(logical.sends_per_pe())
+        recv_imb = imbalance_ratio(logical.recvs_per_pe())
+        if send_imb > threshold:
+            worst = find_stragglers(logical.sends_per_pe(), threshold)[:1]
+            who = f" (PE{worst[0].pe} sends {worst[0].ratio_to_mean:.1f}x the mean)" if worst else ""
+            tips.append(
+                "send load is imbalanced"
+                f"{who}: experiment with data distributions "
+                "(e.g. 1D Range, Edge Cut, Cartesian Vertex-Cut)"
+            )
+        if recv_imb > threshold:
+            tips.append(
+                "recv load is imbalanced: a send-balancing distribution "
+                "alone will not remove it — consider partitioning by "
+                "destination work"
+            )
+    if overall is not None:
+        model = balance_model(overall)
+        fr = overall.fractions()
+        if model.dominant_region == "COMM":
+            tips.append(
+                "execution is COMM-bound: exploit more overlap between "
+                "computation and communication, or aggregate more "
+                "(larger conveyor buffers)"
+            )
+        if fr[:, 0].mean() > 0.3:
+            tips.append("MAIN dominates: optimize message construction "
+                        "and local computation in the finish body")
+        if fr[:, 2].mean() > 0.3:
+            tips.append("PROC dominates: optimize the message handlers")
+        if model.potential_speedup > threshold:
+            tips.append(
+                f"perfect balance would be ~{model.potential_speedup:.1f}x "
+                "faster: the distribution, not the code, is the bottleneck"
+            )
+    if not tips:
+        tips.append("no obvious bottleneck: load is balanced and no single "
+                    "region dominates")
+    return tips

@@ -1,0 +1,142 @@
+"""Live (in-flight) trace monitoring.
+
+Section VI: "a feature where ActorProf can concurrently generate the
+trace graph with the program's execution ... is currently being
+investigated."  :class:`LiveMonitor` implements that idea for the
+simulated stack: it wraps an inner profiler's runtime hooks, maintains
+streaming per-PE statistics as events arrive, and emits periodic snapshots
+(every ``snapshot_every`` sends, globally) that a dashboard could render
+while the program still runs.
+
+Use by wrapping the profiler::
+
+    ap = ActorProf(ProfileFlags.all())
+    live = LiveMonitor(ap, snapshot_every=1000)
+    run_spmd(program, machine=spec, profiler=live)
+    live.snapshots      # in-flight views
+    ap.logical, ...     # the full post-run traces, unchanged
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LiveSnapshot:
+    """One in-flight view of the run."""
+
+    seq: int
+    total_sends: int
+    sends_per_pe: tuple[int, ...]
+    handled_per_pe: tuple[int, ...]
+    open_finishes: int
+
+
+@dataclass
+class _LiveState:
+    sends: np.ndarray
+    handled: np.ndarray
+    open_finishes: int = 0
+    snapshots: list[LiveSnapshot] = field(default_factory=list)
+
+
+class LiveMonitor:
+    """Streaming statistics over the runtime hook events.
+
+    Decorates an inner profiler (or ``None`` for monitoring without full
+    tracing).  All hook events are forwarded unmodified.
+    """
+
+    def __init__(self, inner=None, snapshot_every: int = 1000) -> None:
+        if snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        self.inner = inner
+        self.snapshot_every = snapshot_every
+        self._state: _LiveState | None = None
+        self._hooks = None
+        self._n_pes = 0
+
+    # -- profiler protocol -------------------------------------------------
+
+    def attach(self, world):
+        """Wire into the world; returns (hooks, tracer) like ActorProf."""
+        tracer = None
+        if self.inner is not None:
+            self._hooks, tracer = self.inner.attach(world)
+        self._n_pes = world.spec.n_pes
+        self._state = _LiveState(
+            sends=np.zeros(self._n_pes, dtype=np.int64),
+            handled=np.zeros(self._n_pes, dtype=np.int64),
+        )
+        return self, tracer
+
+    # -- live accessors ------------------------------------------------------
+
+    @property
+    def snapshots(self) -> list[LiveSnapshot]:
+        return list(self._state.snapshots) if self._state else []
+
+    def current(self) -> LiveSnapshot:
+        """The up-to-the-moment view (cheap; does not store a snapshot)."""
+        st = self._require_state()
+        return LiveSnapshot(
+            seq=len(st.snapshots),
+            total_sends=int(st.sends.sum()),
+            sends_per_pe=tuple(int(x) for x in st.sends),
+            handled_per_pe=tuple(int(x) for x in st.handled),
+            open_finishes=st.open_finishes,
+        )
+
+    def _require_state(self) -> _LiveState:
+        if self._state is None:
+            raise RuntimeError("LiveMonitor is not attached to a run")
+        return self._state
+
+    def _maybe_snapshot(self) -> None:
+        st = self._require_state()
+        if int(st.sends.sum()) // self.snapshot_every > len(st.snapshots):
+            st.snapshots.append(self.current())
+
+    # -- RuntimeHooks (forwarding + accounting) --------------------------------
+
+    def finish_start(self, pe: int) -> None:
+        self._require_state().open_finishes += 1
+        if self._hooks is not None:
+            self._hooks.finish_start(pe)
+
+    def finish_end(self, pe: int) -> None:
+        self._require_state().open_finishes -= 1
+        if self._hooks is not None:
+            self._hooks.finish_end(pe)
+
+    def main_enter(self, pe: int) -> None:
+        if self._hooks is not None:
+            self._hooks.main_enter(pe)
+
+    def main_exit(self, pe: int) -> None:
+        if self._hooks is not None:
+            self._hooks.main_exit(pe)
+
+    def proc_enter(self, pe: int, mailbox: int) -> None:
+        if self._hooks is not None:
+            self._hooks.proc_enter(pe, mailbox)
+
+    def proc_exit(self, pe: int, mailbox: int, n_items: int) -> None:
+        self._require_state().handled[pe] += n_items
+        if self._hooks is not None:
+            self._hooks.proc_exit(pe, mailbox, n_items)
+
+    def send(self, pe: int, mailbox: int, dst: int, nbytes: int) -> None:
+        self._require_state().sends[pe] += 1
+        if self._hooks is not None:
+            self._hooks.send(pe, mailbox, dst, nbytes)
+        self._maybe_snapshot()
+
+    def send_batch(self, pe: int, mailbox: int, dsts, nbytes: int) -> None:
+        self._require_state().sends[pe] += len(dsts)
+        if self._hooks is not None:
+            self._hooks.send_batch(pe, mailbox, dsts, nbytes)
+        self._maybe_snapshot()

@@ -1,0 +1,175 @@
+"""PAPI region trace: hardware counters for MAIN and PROC segments.
+
+Section III-A: ActorProf profiles the user's code regions (MAIN = message
+construction + local computation, PROC = message handling) with up to four
+PAPI events, excluding Conveyors/HClib internals by placing PAPI start and
+stop calls at the region boundaries.  File format (one file per PE)::
+
+    PEi_PAPI.csv:
+      source node, source PE, dst node, dst PE, pkt size, MAILBOXID,
+      NUM_SENDS, <event 0>, <event 1>, ...
+
+Each row is a sampled send: NUM_SENDS is the cumulative send count of that
+PE at sampling time, and the event columns are the cumulative user-region
+(MAIN + PROC) counter values — so the final row of each file carries the
+per-PE totals plotted in the paper's Figures 10–11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.machine.spec import MachineSpec
+
+
+@dataclass(frozen=True)
+class PAPIRow:
+    """One sampled send in the PAPI trace."""
+
+    src_node: int
+    src_pe: int
+    dst_node: int
+    dst_pe: int
+    pkt_size: int
+    mailbox: int
+    num_sends: int
+    values: tuple[int, ...]
+
+
+class PAPITrace:
+    """Recorder + container for the PAPI region trace of one run."""
+
+    def __init__(self, spec: MachineSpec, events: tuple[str, ...]) -> None:
+        self.spec = spec
+        self.events = tuple(events)
+        self._rows: list[list[PAPIRow]] = [[] for _ in range(spec.n_pes)]
+        # final per-PE, per-region counter totals, filled by the profiler
+        self.region_totals: dict[str, np.ndarray] = {
+            "MAIN": np.zeros((spec.n_pes, len(self.events)), dtype=np.int64),
+            "PROC": np.zeros((spec.n_pes, len(self.events)), dtype=np.int64),
+        }
+
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        src: int,
+        dst: int,
+        pkt_size: int,
+        mailbox: int,
+        num_sends: int,
+        values: list[int] | tuple[int, ...],
+    ) -> None:
+        """Record one sampled send row."""
+        self._rows[src].append(
+            PAPIRow(
+                src_node=self.spec.node_of(src),
+                src_pe=src,
+                dst_node=self.spec.node_of(dst),
+                dst_pe=dst,
+                pkt_size=pkt_size,
+                mailbox=mailbox,
+                num_sends=num_sends,
+                values=tuple(int(v) for v in values),
+            )
+        )
+
+    def rows(self, pe: int) -> list[PAPIRow]:
+        return list(self._rows[pe])
+
+    @property
+    def n_pes(self) -> int:
+        return self.spec.n_pes
+
+    def totals_per_pe(self, event: str, regions: tuple[str, ...] = ("MAIN", "PROC")) -> np.ndarray:
+        """Final user-region counter total per PE for one event.
+
+        This is the quantity behind the paper's PAPI bar graphs
+        (e.g. total PAPI_TOT_INS per PE, Figures 10–11).
+        """
+        if event not in self.events:
+            raise KeyError(f"event {event!r} was not recorded; have {self.events}")
+        col = self.events.index(event)
+        out = np.zeros(self.n_pes, dtype=np.int64)
+        for region in regions:
+            out += self.region_totals[region][:, col]
+        return out
+
+    # ------------------------------------------------------------------
+
+    def write(self, directory: str | Path) -> list[Path]:
+        """Write ``PEi_PAPI.csv`` per PE; returns the paths written."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        header = (
+            "# source node, source PE, dst node, dst PE, pkt size, "
+            "MAILBOXID, NUM_SENDS, " + ", ".join(self.events) + "\n"
+        )
+        paths = []
+        for pe in range(self.n_pes):
+            path = directory / f"PE{pe}_PAPI.csv"
+            with path.open("w") as f:
+                f.write(header)
+                for r in self._rows[pe]:
+                    vals = ",".join(str(v) for v in r.values)
+                    f.write(
+                        f"{r.src_node},{r.src_pe},{r.dst_node},{r.dst_pe},"
+                        f"{r.pkt_size},{r.mailbox},{r.num_sends},{vals}\n"
+                    )
+            paths.append(path)
+        return paths
+
+
+def parse_papi_dir(directory: str | Path, n_pes: int) -> PAPITrace:
+    """Parse a directory of ``PEi_PAPI.csv`` files back into a trace.
+
+    Region totals are not stored in the CSV; after parsing,
+    ``totals_per_pe`` is reconstructed from each PE's final row.
+    """
+    directory = Path(directory)
+    events: tuple[str, ...] | None = None
+    all_rows: list[list[tuple]] = []
+    max_node = 0
+    for pe in range(n_pes):
+        path = directory / f"PE{pe}_PAPI.csv"
+        if not path.exists():
+            raise FileNotFoundError(f"missing PAPI trace file {path}")
+        rows: list[tuple] = []
+        with path.open() as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    cols = [c.strip() for c in line.lstrip("#").split(",")]
+                    evs = tuple(c for c in cols if c.startswith("PAPI_"))
+                    if events is None:
+                        events = evs
+                    elif events != evs:
+                        raise ValueError("inconsistent event headers across PEs")
+                    continue
+                parts = [int(x) for x in line.split(",")]
+                rows.append(tuple(parts))
+                max_node = max(max_node, parts[0], parts[2])
+        all_rows.append(rows)
+    if events is None:
+        raise ValueError("no PAPI event header found in any file")
+    nodes = max_node + 1
+    ppn = n_pes // nodes if n_pes % nodes == 0 else n_pes
+    spec = MachineSpec(n_pes // ppn, ppn)
+    trace = PAPITrace(spec, events)
+    ne = len(events)
+    for pe, rows in enumerate(all_rows):
+        for parts in rows:
+            (_sn, src, _dn, dst, pkt, mb, ns), vals = parts[:7], parts[7:]
+            if len(vals) != ne:
+                raise ValueError(f"PAPI row has {len(vals)} values for {ne} events")
+            trace.record(src, dst, pkt, mb, ns, vals)
+        if rows:
+            # last row carries the cumulative totals; attribute to MAIN for
+            # bar-graph reconstruction (region split is not in the CSV)
+            trace.region_totals["MAIN"][pe, :] = rows[-1][7:]
+    return trace

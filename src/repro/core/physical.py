@@ -1,0 +1,121 @@
+"""Physical trace: post-aggregation Conveyors network operations.
+
+Section III-C: the physical trace records the network-fed routes dictated
+by the Conveyors topology — one record per instrumented Conveyors call:
+
+* ``local_send`` — intra-node buffer copy (memcpy via ``shmem_ptr``),
+* ``nonblock_send`` — inter-node ``shmem_putmem_nbi`` of a buffer,
+* ``nonblock_progress`` — ``shmem_quiet`` + signalling ``shmem_put``.
+
+Existing profilers cannot capture the non-blocking routines (the paper's
+Section V-B documents score-p / TAU / CrayPat / VTune all missing them),
+which is why ActorProf generates this trace itself.
+
+File format (single file for all PEs)::
+
+    physical.txt:
+      send type, buffer (network-packet) size, source PE, destination PE
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.conveyors.hooks import SEND_TYPES
+
+
+class PhysicalTrace:
+    """Recorder + container for the physical trace (a Conveyors TraceSink)."""
+
+    def __init__(self, n_pes: int) -> None:
+        self.n_pes = n_pes
+        # (send_type, nbytes, src, dst) -> count
+        self._counts: dict[tuple[str, int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # TraceSink interface (called from inside Conveyors)
+    # ------------------------------------------------------------------
+
+    def record(self, send_type: str, nbytes: int, src_pe: int, dst_pe: int, time: int) -> None:
+        """Record one instrumented Conveyors operation."""
+        if send_type not in SEND_TYPES:
+            raise ValueError(f"unknown physical send type {send_type!r}")
+        key = (send_type, nbytes, src_pe, dst_pe)
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # analysis accessors
+    # ------------------------------------------------------------------
+
+    def matrix(self, send_type: str | None = None) -> np.ndarray:
+        """(n_pes, n_pes) buffer-count matrix, optionally one send type."""
+        m = np.zeros((self.n_pes, self.n_pes), dtype=np.int64)
+        for (kind, _nb, src, dst), n in self._counts.items():
+            if send_type is None or kind == send_type:
+                m[src, dst] += n
+        return m
+
+    def bytes_matrix(self, send_type: str | None = None) -> np.ndarray:
+        """(n_pes, n_pes) buffer-byte matrix, optionally one send type."""
+        m = np.zeros((self.n_pes, self.n_pes), dtype=np.int64)
+        for (kind, nb, src, dst), n in self._counts.items():
+            if send_type is None or kind == send_type:
+                m[src, dst] += n * nb
+        return m
+
+    def counts_by_type(self) -> dict[str, int]:
+        """Total operations per send type."""
+        out: dict[str, int] = {}
+        for (kind, _nb, _s, _d), n in self._counts.items():
+            out[kind] = out.get(kind, 0) + n
+        return out
+
+    def sends_per_pe(self, send_type: str | None = None) -> np.ndarray:
+        return self.matrix(send_type).sum(axis=1)
+
+    def recvs_per_pe(self, send_type: str | None = None) -> np.ndarray:
+        return self.matrix(send_type).sum(axis=0)
+
+    def total_operations(self) -> int:
+        return sum(self._counts.values())
+
+    # ------------------------------------------------------------------
+    # file I/O (paper format)
+    # ------------------------------------------------------------------
+
+    def write(self, directory: str | Path) -> Path:
+        """Write ``physical.txt``; returns its path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / "physical.txt"
+        with path.open("w") as f:
+            f.write("# send type, buffer size, source PE, destination PE\n")
+            for (kind, nbytes, src, dst), n in sorted(self._counts.items()):
+                line = f"{kind},{nbytes},{src},{dst}\n"
+                f.write(line * n)
+        return path
+
+
+def parse_physical_file(path: str | Path, n_pes: int | None = None) -> PhysicalTrace:
+    """Parse a ``physical.txt`` back into a :class:`PhysicalTrace`."""
+    path = Path(path)
+    if path.is_dir():
+        path = path / "physical.txt"
+    rows: list[tuple[str, int, int, int]] = []
+    max_pe = -1
+    with path.open() as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            kind, nbytes, src, dst = line.split(",")
+            rows.append((kind, int(nbytes), int(src), int(dst)))
+            max_pe = max(max_pe, int(src), int(dst))
+    if n_pes is None:
+        n_pes = max_pe + 1
+    trace = PhysicalTrace(n_pes)
+    for kind, nbytes, src, dst in rows:
+        trace.record(kind, nbytes, src, dst, 0)
+    return trace

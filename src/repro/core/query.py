@@ -1,0 +1,226 @@
+"""A small declarative query language over ActorProf traces.
+
+The paper's Section VI points at declarative approaches (citing DIVA) as
+a way to interrogate profiles without bespoke scripts.  This module
+implements a compact SQL-ish language evaluated over the logical and
+physical traces::
+
+    sends                                  → total message count
+    sends where src == 0                   → PE0's sends
+    sends where src == 0 group by dst      → (dst, count) pairs, desc
+    bytes where kind == nonblock_send group by src top 5
+    ops where src_node != dst_node         → inter-node operations
+
+Grammar
+-------
+::
+
+    query   := metric [ "where" cond ( "and" cond )* ]
+                      [ "group" "by" field ] [ "top" N ]
+    metric  := "sends" | "bytes" | "ops"
+    cond    := field op value
+    field   := "src" | "dst" | "size" | "kind" | "src_node" | "dst_node"
+    op      := "==" | "!=" | "<" | "<=" | ">" | ">="
+
+``sends`` counts messages/operations, ``bytes`` sums payload/buffer
+bytes, ``ops`` is an alias of ``sends`` reading naturally for physical
+traces.  ``kind`` only exists on physical traces (``local_send`` etc.).
+Evaluation works on the aggregated in-memory representation — no row
+expansion, so it is cheap even for billion-send traces.
+"""
+
+from __future__ import annotations
+
+import operator
+import re
+from dataclasses import dataclass, field as dc_field
+
+from repro.core.logical import LogicalTrace
+from repro.core.physical import PhysicalTrace
+
+_METRICS = ("sends", "bytes", "ops")
+_FIELDS = ("src", "dst", "size", "kind", "src_node", "dst_node")
+_OPS = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_TOKEN_RE = re.compile(r"==|!=|<=|>=|<|>|[A-Za-z_][A-Za-z_0-9]*|\d+")
+
+
+class QueryError(ValueError):
+    """Raised for syntax or semantic errors in a trace query."""
+
+
+@dataclass(frozen=True)
+class FieldRef:
+    """A field used on the right-hand side of a condition."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Condition:
+    field: str
+    op: str
+    value: int | str | FieldRef
+
+    def matches(self, row: dict) -> bool:
+        if self.field not in row:
+            raise QueryError(
+                f"field {self.field!r} does not exist on this trace "
+                f"(have {sorted(row)})"
+            )
+        rhs = self.value
+        if isinstance(rhs, FieldRef):
+            if rhs.name not in row:
+                raise QueryError(
+                    f"field {rhs.name!r} does not exist on this trace "
+                    f"(have {sorted(row)})"
+                )
+            rhs = row[rhs.name]
+        return _OPS[self.op](row[self.field], rhs)
+
+
+@dataclass(frozen=True)
+class Query:
+    metric: str
+    conditions: tuple[Condition, ...] = ()
+    group_by: str | None = None
+    top: int | None = None
+
+
+def parse(text: str) -> Query:
+    """Parse a query string (see module grammar)."""
+    tokens = _TOKEN_RE.findall(text)
+    if not tokens:
+        raise QueryError("empty query")
+    pos = 0
+
+    def peek() -> str | None:
+        return tokens[pos] if pos < len(tokens) else None
+
+    def take() -> str:
+        nonlocal pos
+        tok = tokens[pos]
+        pos += 1
+        return tok
+
+    metric = take().lower()
+    if metric not in _METRICS:
+        raise QueryError(f"unknown metric {metric!r}; want one of {_METRICS}")
+    conditions: list[Condition] = []
+    group_by: str | None = None
+    top: int | None = None
+    if peek() == "where":
+        take()
+        while True:
+            fld = take().lower()
+            if fld not in _FIELDS:
+                raise QueryError(f"unknown field {fld!r}; want one of {_FIELDS}")
+            if peek() not in _OPS:
+                raise QueryError(f"expected comparison after {fld!r}, got {peek()!r}")
+            op = take()
+            if peek() is None:
+                raise QueryError("missing value in condition")
+            raw = take()
+            value: int | str | FieldRef
+            if raw.isdigit():
+                value = int(raw)
+            elif raw.lower() in _FIELDS:
+                value = FieldRef(raw.lower())  # field-to-field comparison
+            else:
+                value = raw
+            if fld != "kind" and isinstance(value, str):
+                raise QueryError(f"field {fld!r} compares against integers "
+                                 "or other fields")
+            if fld == "kind" and op not in ("==", "!="):
+                raise QueryError("kind supports only == and !=")
+            conditions.append(Condition(fld, op, value))
+            if peek() == "and":
+                take()
+                continue
+            break
+    if peek() == "group":
+        take()
+        if peek() != "by":
+            raise QueryError('expected "by" after "group"')
+        take()
+        fld = take().lower()
+        if fld not in _FIELDS:
+            raise QueryError(f"cannot group by {fld!r}")
+        group_by = fld
+    if peek() == "top":
+        take()
+        raw = peek()
+        if raw is None or not raw.isdigit():
+            raise QueryError('"top" needs a positive integer')
+        take()
+        top = int(raw)
+        if top < 1:
+            raise QueryError('"top" needs a positive integer')
+    if peek() is not None:
+        raise QueryError(f"unexpected trailing token {peek()!r}")
+    return Query(metric, tuple(conditions), group_by, top)
+
+
+def _logical_rows(trace: LogicalTrace):
+    spec = trace.spec
+    for src, counts in enumerate(trace._counts):
+        for (dst, size), n in counts.items():
+            yield {
+                "src": src,
+                "dst": dst,
+                "size": size,
+                "src_node": spec.node_of(src),
+                "dst_node": spec.node_of(dst),
+            }, n, n * size
+
+
+def _physical_rows(trace: PhysicalTrace):
+    for (kind, nbytes, src, dst), n in trace._counts.items():
+        yield {
+            "src": src,
+            "dst": dst,
+            "size": nbytes,
+            "kind": kind,
+        }, n, n * nbytes
+
+
+def run_query(trace: LogicalTrace | PhysicalTrace, text: str):
+    """Evaluate ``text`` over a trace.
+
+    Returns an int for plain aggregations, or a list of
+    ``(group_value, amount)`` pairs sorted by amount (descending) for
+    ``group by`` queries.
+    """
+    q = parse(text)
+    if isinstance(trace, LogicalTrace):
+        rows = _logical_rows(trace)
+    elif isinstance(trace, PhysicalTrace):
+        rows = _physical_rows(trace)
+    else:
+        raise QueryError(f"cannot query a {type(trace).__name__}")
+    groups: dict = {}
+    total = 0
+    for row, count, nbytes in rows:
+        if not all(c.matches(row) for c in q.conditions):
+            continue
+        amount = nbytes if q.metric == "bytes" else count
+        if q.group_by is None:
+            total += amount
+        else:
+            if q.group_by not in row:
+                raise QueryError(
+                    f"cannot group by {q.group_by!r} on this trace"
+                )
+            key = row[q.group_by]
+            groups[key] = groups.get(key, 0) + amount
+    if q.group_by is None:
+        return total
+    ranked = sorted(groups.items(), key=lambda kv: (-kv[1], str(kv[0])))
+    return ranked[: q.top] if q.top is not None else ranked

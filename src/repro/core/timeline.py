@@ -1,0 +1,142 @@
+"""Timeline trace: timestamped region spans and network events.
+
+The paper's future work (Section VI) plans "the adoption of OTF and
+Google Trace Events format".  This module provides the substrate: a
+per-PE timeline of
+
+* **region spans** — every MAIN and PROC interval with rdtsc start/end
+  (COMM is the gap between them, as always),
+* **network events** — every instrumented Conveyors operation with its
+  issue timestamp, endpoints and buffer size,
+* **finish markers** — the enclosing finish scopes.
+
+Exporters for the two formats live in :mod:`repro.core.export`.
+
+Timeline collection is optional (``ProfileFlags.enable_timeline``): at one
+span per region instance the trace grows with message-handler count, which
+is exactly the trace-size problem the paper's Section VI discusses —
+``max_spans_per_pe`` bounds it by dropping the tail (with a counter, so
+consumers know truncation happened).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Span:
+    """A closed region interval on one PE (cycles)."""
+
+    pe: int
+    region: str  # "MAIN" | "PROC" | "FINISH"
+    start: int
+    end: int
+    mailbox: int = -1
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class NetEvent:
+    """One instrumented Conveyors operation with its issue time."""
+
+    time: int
+    kind: str  # local_send | nonblock_send | nonblock_progress
+    src: int
+    dst: int
+    nbytes: int
+
+
+class TimelineTrace:
+    """Per-PE timestamped trace of one run."""
+
+    def __init__(self, n_pes: int, max_spans_per_pe: int = 100_000) -> None:
+        if max_spans_per_pe < 1:
+            raise ValueError("max_spans_per_pe must be positive")
+        self.n_pes = n_pes
+        self.max_spans_per_pe = max_spans_per_pe
+        self._spans: list[list[Span]] = [[] for _ in range(n_pes)]
+        self._net: list[NetEvent] = []
+        self.dropped_spans = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def add_span(self, pe: int, region: str, start: int, end: int,
+                 mailbox: int = -1) -> None:
+        """Record a closed region interval."""
+        if end < start:
+            raise ValueError(f"span ends before it starts: [{start}, {end})")
+        bucket = self._spans[pe]
+        if len(bucket) >= self.max_spans_per_pe:
+            self.dropped_spans += 1
+            return
+        bucket.append(Span(pe, region, start, end, mailbox))
+
+    def add_net_event(self, time: int, kind: str, src: int, dst: int,
+                      nbytes: int) -> None:
+        """Record one network operation."""
+        self._net.append(NetEvent(time, kind, src, dst, nbytes))
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    def spans(self, pe: int | None = None, region: str | None = None) -> list[Span]:
+        """Spans of one PE (or all), optionally filtered by region."""
+        if pe is None:
+            out = [s for bucket in self._spans for s in bucket]
+        else:
+            out = list(self._spans[pe])
+        if region is not None:
+            out = [s for s in out if s.region == region]
+        return out
+
+    def net_events(self, kind: str | None = None) -> list[NetEvent]:
+        if kind is None:
+            return list(self._net)
+        return [e for e in self._net if e.kind == kind]
+
+    def span_count(self) -> int:
+        return sum(len(b) for b in self._spans)
+
+    def end_time(self) -> int:
+        """Latest timestamp anywhere in the timeline."""
+        last_span = max((s.end for b in self._spans for s in b), default=0)
+        last_net = max((e.time for e in self._net), default=0)
+        return max(last_span, last_net)
+
+    def region_totals(self, region: str) -> np.ndarray:
+        """Total cycles per PE spent in ``region`` spans."""
+        out = np.zeros(self.n_pes, dtype=np.int64)
+        for pe, bucket in enumerate(self._spans):
+            out[pe] = sum(s.duration for s in bucket if s.region == region)
+        return out
+
+    def utilization(self, pe: int, bucket_cycles: int) -> np.ndarray:
+        """Fraction of each time bucket covered by MAIN+PROC spans.
+
+        A simple occupancy profile — the "CPU utilization over time" view
+        that tools like Legion Prof display.
+        """
+        if bucket_cycles < 1:
+            raise ValueError("bucket_cycles must be positive")
+        horizon = self.end_time()
+        n_buckets = max(1, -(-horizon // bucket_cycles))
+        busy = np.zeros(n_buckets, dtype=np.float64)
+        for s in self._spans[pe]:
+            if s.region not in ("MAIN", "PROC"):
+                continue
+            b0 = s.start // bucket_cycles
+            b1 = s.end // bucket_cycles
+            for b in range(b0, min(b1, n_buckets - 1) + 1):
+                lo = max(s.start, b * bucket_cycles)
+                hi = min(s.end, (b + 1) * bucket_cycles)
+                busy[b] += max(0, hi - lo)
+        return busy / bucket_cycles

@@ -1,0 +1,24 @@
+"""ActorProf visualization (Section III-D).
+
+Heatmaps, quartile violin plots, bar graphs and stacked bar graphs —
+"inspired by CrayPat's Mosaic Report" — rendered to standalone SVG files
+(and ASCII for terminals).  The drawing backend is implemented from
+scratch on :class:`~repro.core.viz.svg.Canvas`; the original tool used
+matplotlib, which is unavailable here (see DESIGN.md substitutions).
+"""
+
+from repro.core.viz.bars import bar_graph, grouped_bar_graph
+from repro.core.viz.heatmap import ascii_heatmap, heatmap_svg
+from repro.core.viz.stacked import stacked_bar_graph
+from repro.core.viz.svg import Canvas
+from repro.core.viz.violin import violin_svg
+
+__all__ = [
+    "Canvas",
+    "ascii_heatmap",
+    "bar_graph",
+    "grouped_bar_graph",
+    "heatmap_svg",
+    "stacked_bar_graph",
+    "violin_svg",
+]

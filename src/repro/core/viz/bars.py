@@ -1,0 +1,119 @@
+"""Bar graphs: per-PE values (the paper's PAPI counter figures).
+
+``bar_graph`` renders one value per PE — e.g. total PAPI_TOT_INS — and is
+the chart used to spot stragglers (Figures 10–11).  ``grouped_bar_graph``
+places multiple series side by side (e.g. four PAPI counters in one run,
+the ``-lp`` flag).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.viz.palette import categorical
+from repro.core.viz.svg import Canvas
+
+_PLOT_H = 240
+_MARGIN_LEFT = 86
+_MARGIN_TOP = 56
+_MARGIN_BOTTOM = 60
+
+
+def _y_axis(cv: Canvas, vmax: float, log_scale: bool) -> None:
+    axis_x = _MARGIN_LEFT - 8
+    cv.line(axis_x, _MARGIN_TOP, axis_x, _MARGIN_TOP + _PLOT_H, stroke="#404040")
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        y = _MARGIN_TOP + _PLOT_H * (1 - frac)
+        if log_scale:
+            v = np.expm1(frac * np.log1p(vmax))
+        else:
+            v = frac * vmax
+        cv.line(axis_x - 4, y, axis_x, y, stroke="#404040")
+        cv.text(axis_x - 7, y + 3, f"{v:,.0f}", size=9, anchor="end")
+
+
+def _bar_height(v: float, vmax: float, log_scale: bool) -> float:
+    if vmax <= 0 or v <= 0:
+        return 0.0
+    if log_scale:
+        return _PLOT_H * np.log1p(v) / np.log1p(vmax)
+    return _PLOT_H * v / vmax
+
+
+def bar_graph(values: np.ndarray, title: str = "Per-PE values",
+              ylabel: str = "value", xlabel: str = "PE",
+              log_scale: bool = False, highlight_max: bool = True) -> str:
+    """One bar per PE; the maximum bar is emphasized when requested."""
+    values = np.asarray(values, dtype=float)
+    n = values.size
+    if n == 0:
+        raise ValueError("need at least one value")
+    bar_w = max(10, min(36, 520 // n))
+    gap = max(3, bar_w // 4)
+    width = _MARGIN_LEFT + n * (bar_w + gap) + 50
+    height = _MARGIN_TOP + _PLOT_H + _MARGIN_BOTTOM
+    cv = Canvas(width, height)
+    cv.text(width / 2, 26, title, size=15, anchor="middle", bold=True)
+    cv.text(16, _MARGIN_TOP + _PLOT_H / 2, ylabel, size=11, anchor="middle", rotate=-90)
+    cv.text(_MARGIN_LEFT + n * (bar_w + gap) / 2, height - 14, xlabel, size=11,
+            anchor="middle")
+    vmax = values.max()
+    _y_axis(cv, vmax, log_scale)
+    imax = int(values.argmax())
+    for i, v in enumerate(values):
+        h = _bar_height(v, vmax, log_scale)
+        x = _MARGIN_LEFT + i * (bar_w + gap)
+        color = "#e45756" if (highlight_max and i == imax and n > 1) else "#4c78a8"
+        cv.rect(x, _MARGIN_TOP + _PLOT_H - h, bar_w, max(h, 0.5), fill=color,
+                title=f"PE{i}: {v:,.0f}")
+        step = 1 if n <= 24 else max(1, n // 16)
+        if i % step == 0:
+            cv.text(x + bar_w / 2, _MARGIN_TOP + _PLOT_H + 16, str(i), size=9,
+                    anchor="middle")
+    return cv.to_string()
+
+
+def grouped_bar_graph(series: dict[str, np.ndarray], title: str = "Per-PE counters",
+                      xlabel: str = "PE", log_scale: bool = True) -> str:
+    """Multiple series per PE, side by side (one color per series).
+
+    Series are normalized per series (each to its own max) because PAPI
+    counters span orders of magnitude; tooltips carry raw values.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    names = list(series)
+    arrays = [np.asarray(series[k], dtype=float) for k in names]
+    n = arrays[0].size
+    if any(a.size != n for a in arrays):
+        raise ValueError("all series must have one value per PE")
+    k = len(names)
+    bar_w = max(4, min(16, 520 // (n * k)))
+    group_w = k * bar_w + 6
+    width = _MARGIN_LEFT + n * group_w + 170
+    height = _MARGIN_TOP + _PLOT_H + _MARGIN_BOTTOM
+    cv = Canvas(width, height)
+    cv.text(width / 2, 26, title, size=15, anchor="middle", bold=True)
+    cv.text(_MARGIN_LEFT + n * group_w / 2, height - 14, xlabel, size=11,
+            anchor="middle")
+    for s, (name, arr) in enumerate(zip(names, arrays)):
+        vmax = arr.max()
+        for i, v in enumerate(arr):
+            h = _bar_height(v, vmax, log_scale)
+            x = _MARGIN_LEFT + i * group_w + s * bar_w
+            cv.rect(x, _MARGIN_TOP + _PLOT_H - h, bar_w - 1, max(h, 0.5),
+                    fill=categorical(s), title=f"PE{i} {name}: {v:,.0f}")
+        # legend
+        ly = _MARGIN_TOP + 16 * s
+        lx = _MARGIN_LEFT + n * group_w + 16
+        cv.rect(lx, ly - 9, 10, 10, fill=categorical(s))
+        cv.text(lx + 14, ly, name, size=10)
+    step = 1 if n <= 24 else max(1, n // 16)
+    for i in range(0, n, step):
+        x = _MARGIN_LEFT + i * group_w + group_w / 2
+        cv.text(x, _MARGIN_TOP + _PLOT_H + 16, str(i), size=9, anchor="middle")
+    cv.line(_MARGIN_LEFT - 8, _MARGIN_TOP, _MARGIN_LEFT - 8, _MARGIN_TOP + _PLOT_H,
+            stroke="#404040")
+    note = "bars normalized per series" + (", log scale" if log_scale else "")
+    cv.text(_MARGIN_LEFT, height - 34, note, size=8, fill="#808080")
+    return cv.to_string()

@@ -1,0 +1,87 @@
+"""Stacked bar graphs for the overall T_MAIN/T_COMM/T_PROC breakdown.
+
+The paper's Figures 12–13: one stacked bar per PE, in absolute cycles or
+relative (fractions of T_TOTAL).  Region colors echo Figure 1's coding
+(MAIN blue, PROC red).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.overall import OverallProfile
+from repro.core.viz.palette import REGION_COLORS
+from repro.core.viz.svg import Canvas
+
+_PLOT_H = 240
+_MARGIN_LEFT = 96
+_MARGIN_TOP = 56
+_MARGIN_BOTTOM = 60
+
+_REGIONS = ("MAIN", "COMM", "PROC")
+
+
+def stacked_bar_graph(profile: OverallProfile, relative: bool = False,
+                      title: str | None = None) -> str:
+    """Render the per-PE overall breakdown as stacked bars.
+
+    ``relative=True`` normalizes each bar to its PE's T_TOTAL (the paper
+    shows both variants for every configuration).
+    """
+    n = profile.n_pes
+    if title is None:
+        title = ("Relative" if relative else "Absolute") + " overall profiling"
+    parts = np.stack(
+        [profile.t_main, profile.t_comm(), profile.t_proc], axis=1
+    ).astype(float)
+    if relative:
+        totals = profile.t_total.astype(float)
+        totals[totals == 0] = 1.0
+        parts = parts / totals[:, None]
+        vmax = 1.0
+    else:
+        vmax = float(profile.t_total.max()) or 1.0
+    bar_w = max(10, min(36, 520 // n))
+    gap = max(3, bar_w // 4)
+    width = _MARGIN_LEFT + n * (bar_w + gap) + 150
+    height = _MARGIN_TOP + _PLOT_H + _MARGIN_BOTTOM
+    cv = Canvas(width, height)
+    cv.text(width / 2, 26, title, size=15, anchor="middle", bold=True)
+    ylabel = "fraction of T_TOTAL" if relative else "rdtsc cycles"
+    cv.text(16, _MARGIN_TOP + _PLOT_H / 2, ylabel, size=11, anchor="middle", rotate=-90)
+    cv.text(_MARGIN_LEFT + n * (bar_w + gap) / 2, height - 14, "PE", size=11,
+            anchor="middle")
+
+    axis_x = _MARGIN_LEFT - 8
+    cv.line(axis_x, _MARGIN_TOP, axis_x, _MARGIN_TOP + _PLOT_H, stroke="#404040")
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        y = _MARGIN_TOP + _PLOT_H * (1 - frac)
+        v = frac * vmax
+        label = f"{v:.2f}" if relative else f"{v:,.0f}"
+        cv.line(axis_x - 4, y, axis_x, y, stroke="#404040")
+        cv.text(axis_x - 7, y + 3, label, size=9, anchor="end")
+
+    for pe in range(n):
+        x = _MARGIN_LEFT + pe * (bar_w + gap)
+        y = _MARGIN_TOP + _PLOT_H
+        for r, region in enumerate(_REGIONS):
+            v = parts[pe, r]
+            h = _PLOT_H * v / vmax
+            y -= h
+            if relative:
+                tip = f"PE{pe} T_{region}: {v:.1%}"
+            else:
+                tip = f"PE{pe} T_{region}: {v:,.0f} cycles"
+            cv.rect(x, y, bar_w, max(h, 0.0), fill=REGION_COLORS[region], title=tip)
+        step = 1 if n <= 24 else max(1, n // 16)
+        if pe % step == 0:
+            cv.text(x + bar_w / 2, _MARGIN_TOP + _PLOT_H + 16, str(pe), size=9,
+                    anchor="middle")
+
+    # legend
+    lx = _MARGIN_LEFT + n * (bar_w + gap) + 16
+    for r, region in enumerate(_REGIONS):
+        ly = _MARGIN_TOP + 18 * r
+        cv.rect(lx, ly - 9, 10, 10, fill=REGION_COLORS[region])
+        cv.text(lx + 14, ly, f"T_{region}", size=10)
+    return cv.to_string()

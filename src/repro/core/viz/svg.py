@@ -1,0 +1,110 @@
+"""A minimal SVG document builder.
+
+Only what the ActorProf charts need: rectangles, lines, text, polygons and
+grouping, emitted as standalone SVG 1.1 with a white background.  All
+coordinates are user units (pixels).
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+
+def _fmt(v: float) -> str:
+    """Compact numeric formatting for attribute values."""
+    return f"{v:.2f}".rstrip("0").rstrip(".")
+
+
+class Canvas:
+    """An append-only SVG canvas."""
+
+    def __init__(self, width: float, height: float, background: str = "#ffffff") -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError(f"canvas must have positive size, got {width}x{height}")
+        self.width = width
+        self.height = height
+        self._body: list[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background, stroke="none")
+
+    # ------------------------------------------------------------------
+
+    def rect(self, x: float, y: float, w: float, h: float, fill: str = "#000000",
+             stroke: str = "none", stroke_width: float = 1.0, opacity: float = 1.0,
+             title: str | None = None) -> None:
+        """Axis-aligned rectangle; ``title`` adds a hover tooltip."""
+        attrs = (
+            f'x="{_fmt(x)}" y="{_fmt(y)}" width="{_fmt(w)}" height="{_fmt(h)}" '
+            f'fill="{fill}" stroke="{stroke}" stroke-width="{_fmt(stroke_width)}"'
+        )
+        if opacity != 1.0:
+            attrs += f' opacity="{_fmt(opacity)}"'
+        if title:
+            self._body.append(
+                f"<rect {attrs}><title>{html.escape(title)}</title></rect>"
+            )
+        else:
+            self._body.append(f"<rect {attrs}/>")
+
+    def line(self, x1: float, y1: float, x2: float, y2: float,
+             stroke: str = "#000000", stroke_width: float = 1.0,
+             dash: str | None = None) -> None:
+        attrs = (
+            f'x1="{_fmt(x1)}" y1="{_fmt(y1)}" x2="{_fmt(x2)}" y2="{_fmt(y2)}" '
+            f'stroke="{stroke}" stroke-width="{_fmt(stroke_width)}"'
+        )
+        if dash:
+            attrs += f' stroke-dasharray="{dash}"'
+        self._body.append(f"<line {attrs}/>")
+
+    def text(self, x: float, y: float, content: str, size: float = 12,
+             anchor: str = "start", fill: str = "#202020",
+             rotate: float | None = None, bold: bool = False) -> None:
+        """Text anchored at (x, y); ``anchor`` in start/middle/end."""
+        attrs = (
+            f'x="{_fmt(x)}" y="{_fmt(y)}" font-size="{_fmt(size)}" '
+            f'text-anchor="{anchor}" fill="{fill}" '
+            f'font-family="Helvetica, Arial, sans-serif"'
+        )
+        if bold:
+            attrs += ' font-weight="bold"'
+        if rotate is not None:
+            attrs += f' transform="rotate({_fmt(rotate)} {_fmt(x)} {_fmt(y)})"'
+        self._body.append(f"<text {attrs}>{html.escape(content)}</text>")
+
+    def polygon(self, points: list[tuple[float, float]], fill: str = "#000000",
+                stroke: str = "none", stroke_width: float = 1.0,
+                opacity: float = 1.0) -> None:
+        pts = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        attrs = (
+            f'points="{pts}" fill="{fill}" stroke="{stroke}" '
+            f'stroke-width="{_fmt(stroke_width)}"'
+        )
+        if opacity != 1.0:
+            attrs += f' opacity="{_fmt(opacity)}"'
+        self._body.append(f"<polygon {attrs}/>")
+
+    def circle(self, cx: float, cy: float, r: float, fill: str = "#000000",
+               stroke: str = "none", stroke_width: float = 1.0) -> None:
+        self._body.append(
+            f'<circle cx="{_fmt(cx)}" cy="{_fmt(cy)}" r="{_fmt(r)}" '
+            f'fill="{fill}" stroke="{stroke}" stroke-width="{_fmt(stroke_width)}"/>'
+        )
+
+    # ------------------------------------------------------------------
+
+    def to_string(self) -> str:
+        header = (
+            '<?xml version="1.0" encoding="UTF-8"?>\n'
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{_fmt(self.width)}" '
+            f'height="{_fmt(self.height)}" viewBox="0 0 {_fmt(self.width)} '
+            f'{_fmt(self.height)}">'
+        )
+        return header + "\n" + "\n".join(self._body) + "\n</svg>\n"
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_string())
+        return path

@@ -1,0 +1,94 @@
+"""Quartile violin plots for send/recv distributions.
+
+The paper's Figures 5 and 7: one violin per sample (e.g. "cyclic sends",
+"cyclic recvs", "range sends", "range recvs"), showing a kernel-density
+silhouette, the median as a white dot, a quartile box, and the maximum
+outlier at the silhouette's tip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.analysis import QuartileStats
+from repro.core.viz.palette import categorical
+from repro.core.viz.svg import Canvas
+
+_PLOT_H = 260
+_VIOLIN_W = 90
+_MARGIN = 60
+
+
+def kde_density(values: np.ndarray, points: int = 64) -> tuple[np.ndarray, np.ndarray]:
+    """Gaussian kernel density estimate on a regular grid.
+
+    Returns (grid, density).  Bandwidth follows Scott's rule with a floor
+    so near-constant samples still render a visible blob.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot estimate density of an empty sample")
+    lo, hi = values.min(), values.max()
+    spread = hi - lo
+    std = values.std()
+    bw = max(std * values.size ** (-1 / 5), spread / 50.0, 1e-9)
+    grid = np.linspace(lo - 2 * bw, hi + 2 * bw, points)
+    diffs = (grid[:, None] - values[None, :]) / bw
+    dens = np.exp(-0.5 * diffs**2).sum(axis=1) / (values.size * bw * np.sqrt(2 * np.pi))
+    return grid, dens
+
+
+def violin_svg(samples: dict[str, np.ndarray], title: str = "Violin plot",
+               ylabel: str = "count") -> str:
+    """Render one violin per named sample."""
+    if not samples:
+        raise ValueError("need at least one sample")
+    names = list(samples)
+    arrays = [np.asarray(samples[k], dtype=float) for k in names]
+    vmax = max(a.max() for a in arrays)
+    vmin = min(a.min() for a in arrays)
+    if vmax == vmin:
+        vmax = vmin + 1.0
+    n = len(names)
+    width = _MARGIN * 2 + n * (_VIOLIN_W + 30)
+    height = _PLOT_H + 110
+    cv = Canvas(width, height)
+    cv.text(width / 2, 26, title, size=15, anchor="middle", bold=True)
+    cv.text(16, 50 + _PLOT_H / 2, ylabel, size=11, anchor="middle", rotate=-90)
+
+    def y_of(v: float) -> float:
+        return 50 + _PLOT_H * (1 - (v - vmin) / (vmax - vmin))
+
+    # y-axis with ticks
+    axis_x = _MARGIN - 10
+    cv.line(axis_x, 50, axis_x, 50 + _PLOT_H, stroke="#404040")
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        v = vmin + frac * (vmax - vmin)
+        y = y_of(v)
+        cv.line(axis_x - 4, y, axis_x, y, stroke="#404040")
+        cv.text(axis_x - 7, y + 3, f"{v:,.0f}", size=9, anchor="end")
+
+    for i, (name, values) in enumerate(zip(names, arrays)):
+        cx = _MARGIN + 20 + i * (_VIOLIN_W + 30) + _VIOLIN_W / 2
+        color = categorical(i)
+        grid, dens = kde_density(values)
+        dmax = dens.max() or 1.0
+        half = dens / dmax * (_VIOLIN_W / 2)
+        right = [(cx + h, y_of(g)) for g, h in zip(grid, half)]
+        left = [(cx - h, y_of(g)) for g, h in zip(grid[::-1], half[::-1])]
+        cv.polygon(right + left, fill=color, opacity=0.55, stroke=color)
+        stats = QuartileStats.of(values)
+        # quartile box (thick bar) and whisker
+        cv.line(cx, y_of(stats.minimum), cx, y_of(stats.maximum), stroke="#303030")
+        cv.rect(cx - 4, y_of(stats.q3), 8, max(1.0, y_of(stats.q1) - y_of(stats.q3)),
+                fill="#303030",
+                title=f"{name}: q1={stats.q1:.0f} median={stats.median:.0f} q3={stats.q3:.0f}")
+        # median: white dot (as the paper describes)
+        cv.circle(cx, y_of(stats.median), 4, fill="#ffffff", stroke="#303030",
+                  stroke_width=1.2)
+        # maximum outlier marker at the top of the shape
+        cv.circle(cx, y_of(stats.maximum), 2.4, fill="#303030")
+        cv.text(cx, 50 + _PLOT_H + 20, name, size=10, anchor="middle")
+        cv.text(cx, 50 + _PLOT_H + 36, f"max={stats.maximum:,.0f}", size=8,
+                anchor="middle", fill="#606060")
+    return cv.to_string()

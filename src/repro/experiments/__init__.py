@@ -1,0 +1,16 @@
+"""Reproduction experiments: the paper's Section IV case study.
+
+:func:`~repro.experiments.casestudy.run_case_study` runs profiled
+distributed triangle counting in the paper's four configurations
+({1 node, 2 nodes} × {1D Cyclic, 1D Range}) and caches results so the
+per-figure benchmarks share runs.
+"""
+
+from repro.experiments.casestudy import (
+    CaseStudySetup,
+    CaseStudyRun,
+    clear_cache,
+    run_case_study,
+)
+
+__all__ = ["CaseStudyRun", "CaseStudySetup", "clear_cache", "run_case_study"]

@@ -1,0 +1,131 @@
+"""The paper's case study: profiled distributed triangle counting.
+
+Section IV runs Triangle Counting on an R-MAT scale-16 graph (graph500
+parameters, edge factor 16) on 1 node/16 PEs and 2 nodes/32 PEs, comparing
+1D Cyclic and 1D Range distributions, with every ActorProf capability
+enabled.  This module reproduces those runs at a configurable scale
+(default 10 — the pure-Python simulator's practical sweet spot; raise
+``REPRO_SCALE`` to push toward the paper's 16: the power-law shape that
+drives every observation is scale-invariant).
+
+Runs are memoized per setup so that the per-figure benchmarks (Figs. 3-5,
+7-13 all come from the same four runs) don't recompute them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.apps.triangle import TriangleResult, count_triangles
+from repro.conveyors.conveyor import ConveyorConfig
+from repro.core.flags import ProfileFlags
+from repro.core.profiler import ActorProf
+from repro.graphs.distributions import make_distribution
+from repro.graphs.matrix import LowerTriangular
+from repro.graphs.rmat import graph500_input
+from repro.machine.spec import MachineSpec
+
+
+def default_scale() -> int:
+    """R-MAT scale for experiments (env override: ``REPRO_SCALE``)."""
+    return int(os.environ.get("REPRO_SCALE", "10"))
+
+
+@dataclass(frozen=True)
+class CaseStudySetup:
+    """One experimental configuration of the case study."""
+
+    nodes: int = 1
+    pes_per_node: int = 16
+    distribution: str = "cyclic"
+    scale: int = 10
+    edge_factor: int = 16
+    seed: int = 0
+    buffer_items: int = 64
+    papi_sample_interval: int = 64
+    self_send_bypass: bool = False
+    topology: str = "auto"
+
+    @property
+    def machine(self) -> MachineSpec:
+        return MachineSpec.perlmutter_like(self.nodes, self.pes_per_node)
+
+    @property
+    def conveyor_config(self) -> ConveyorConfig:
+        return ConveyorConfig(
+            payload_words=2,
+            buffer_items=self.buffer_items,
+            topology=self.topology,
+            self_send_bypass=self.self_send_bypass,
+        )
+
+
+@dataclass
+class CaseStudyRun:
+    """A completed profiled run."""
+
+    setup: CaseStudySetup
+    result: TriangleResult
+    profiler: ActorProf
+    graph: LowerTriangular = field(repr=False)
+
+
+_GRAPH_CACHE: dict[tuple[int, int, int], LowerTriangular] = {}
+_RUN_CACHE: dict[CaseStudySetup, CaseStudyRun] = {}
+
+
+def case_study_graph(scale: int, edge_factor: int = 16, seed: int = 0) -> LowerTriangular:
+    """The (memoized) R-MAT input graph."""
+    key = (scale, edge_factor, seed)
+    graph = _GRAPH_CACHE.get(key)
+    if graph is None:
+        graph = LowerTriangular.from_edges(
+            graph500_input(scale, edge_factor=edge_factor, seed=seed)
+        )
+        _GRAPH_CACHE[key] = graph
+    return graph
+
+
+def run_case_study(
+    nodes: int = 1,
+    distribution: str = "cyclic",
+    scale: int | None = None,
+    **overrides,
+) -> CaseStudyRun:
+    """Run (or fetch the cached) case-study configuration.
+
+    Returns the triangle-count result, the attached profiler with all four
+    traces, and the input graph.
+    """
+    setup = CaseStudySetup(
+        nodes=nodes,
+        distribution=distribution,
+        scale=scale if scale is not None else default_scale(),
+        **overrides,
+    )
+    cached = _RUN_CACHE.get(setup)
+    if cached is not None:
+        return cached
+    graph = case_study_graph(setup.scale, setup.edge_factor, setup.seed)
+    profiler = ActorProf(
+        ProfileFlags.all(papi_sample_interval=setup.papi_sample_interval)
+    )
+    dist = make_distribution(setup.distribution, graph, setup.machine.n_pes)
+    result = count_triangles(
+        graph,
+        setup.machine,
+        dist,
+        profiler=profiler,
+        conveyor_config=setup.conveyor_config,
+        validate=True,
+    )
+    run = CaseStudyRun(setup=setup, result=result, profiler=profiler, graph=graph)
+    _RUN_CACHE[setup] = run
+    return run
+
+
+def clear_cache() -> None:
+    """Drop memoized graphs and runs (tests use this for isolation)."""
+    _GRAPH_CACHE.clear()
+    _RUN_CACHE.clear()

@@ -1,0 +1,30 @@
+"""Graph generation and data distribution.
+
+The inputs of the paper's case study: R-MAT graphs following graph500
+parameters (A=57, B=C=19, D=5, edge factor 16), reduced to the lower
+triangular part of the adjacency matrix, and the two row distributions
+compared in Section IV — 1D Cyclic (equal vertices per PE) and 1D Range
+(equal edges per PE).
+"""
+
+from repro.graphs.distributions import (
+    BlockDistribution,
+    CyclicDistribution,
+    Distribution,
+    RangeDistribution,
+    make_distribution,
+)
+from repro.graphs.matrix import LowerTriangular
+from repro.graphs.rmat import erdos_renyi_edges, graph500_input, rmat_edges
+
+__all__ = [
+    "BlockDistribution",
+    "CyclicDistribution",
+    "Distribution",
+    "LowerTriangular",
+    "RangeDistribution",
+    "erdos_renyi_edges",
+    "graph500_input",
+    "make_distribution",
+    "rmat_edges",
+]

@@ -1,0 +1,162 @@
+"""Row (vertex) distributions across PEs.
+
+Section IV-B2: "A data distribution decides which data resides on which
+rank."  The two the paper compares:
+
+* **1D Cyclic** — ``owner(row) = row % P``: every PE holds a similar
+  number of vertices, but with a power-law graph wildly different numbers
+  of edges.
+* **1D Range** — contiguous row ranges with boundaries chosen so each PE
+  holds a similar number of non-zeros (#nnz); this is what produces the
+  lower-triangular "(L) observation" communication shape.
+
+A plain **Block** distribution (equal contiguous vertex counts) rounds
+out the ablation space.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.graphs.matrix import LowerTriangular
+
+
+class Distribution(ABC):
+    """Maps global row indices to owning PEs."""
+
+    def __init__(self, n_rows: int, n_pes: int) -> None:
+        if n_rows < 0:
+            raise ValueError(f"negative row count: {n_rows}")
+        if n_pes < 1:
+            raise ValueError(f"need at least one PE: {n_pes}")
+        self.n_rows = n_rows
+        self.n_pes = n_pes
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Identifier used in configs and reports ("cyclic", "range", ...)."""
+
+    @abstractmethod
+    def owner(self, row: int) -> int:
+        """PE owning ``row`` (Algorithm 1's FINDOWNER)."""
+
+    @abstractmethod
+    def owner_array(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`owner`."""
+
+    @abstractmethod
+    def local_rows(self, pe: int) -> np.ndarray:
+        """Global row indices owned by ``pe``, ascending."""
+
+    def check(self) -> None:
+        """Invariant check: ownership partitions all rows (test helper)."""
+        seen = np.zeros(self.n_rows, dtype=bool)
+        for pe in range(self.n_pes):
+            rows = self.local_rows(pe)
+            if len(rows) and (self.owner_array(rows) != pe).any():
+                raise AssertionError(f"{self.name}: local_rows/owner disagree on PE {pe}")
+            seen[rows] = True
+        if not seen.all():
+            raise AssertionError(f"{self.name}: rows {np.flatnonzero(~seen)} unowned")
+
+
+class CyclicDistribution(Distribution):
+    """1D Cyclic: ``owner(row) = row % P`` (Algorithm 1's example)."""
+
+    @property
+    def name(self) -> str:
+        return "cyclic"
+
+    def owner(self, row: int) -> int:
+        return row % self.n_pes
+
+    def owner_array(self, rows: np.ndarray) -> np.ndarray:
+        return np.asarray(rows, dtype=np.int64) % self.n_pes
+
+    def local_rows(self, pe: int) -> np.ndarray:
+        return np.arange(pe, self.n_rows, self.n_pes, dtype=np.int64)
+
+
+class _BoundaryDistribution(Distribution):
+    """Contiguous ranges defined by ascending boundaries.
+
+    PE ``p`` owns rows ``[boundaries[p], boundaries[p+1])``.
+    """
+
+    def __init__(self, n_rows: int, n_pes: int, boundaries: np.ndarray) -> None:
+        super().__init__(n_rows, n_pes)
+        boundaries = np.asarray(boundaries, dtype=np.int64)
+        if boundaries.shape != (n_pes + 1,):
+            raise ValueError(
+                f"need {n_pes + 1} boundaries for {n_pes} PEs, got {boundaries.shape}"
+            )
+        if boundaries[0] != 0 or boundaries[-1] != n_rows:
+            raise ValueError("boundaries must span [0, n_rows]")
+        if (np.diff(boundaries) < 0).any():
+            raise ValueError("boundaries must be non-decreasing")
+        self.boundaries = boundaries
+
+    def owner(self, row: int) -> int:
+        if not 0 <= row < self.n_rows:
+            raise ValueError(f"row {row} out of range")
+        return int(np.searchsorted(self.boundaries, row, side="right") - 1)
+
+    def owner_array(self, rows: np.ndarray) -> np.ndarray:
+        return np.searchsorted(self.boundaries, np.asarray(rows), side="right") - 1
+
+    def local_rows(self, pe: int) -> np.ndarray:
+        return np.arange(self.boundaries[pe], self.boundaries[pe + 1], dtype=np.int64)
+
+
+class BlockDistribution(_BoundaryDistribution):
+    """Equal contiguous vertex counts per PE."""
+
+    def __init__(self, n_rows: int, n_pes: int) -> None:
+        bounds = np.linspace(0, n_rows, n_pes + 1).round().astype(np.int64)
+        super().__init__(n_rows, n_pes, bounds)
+
+    @property
+    def name(self) -> str:
+        return "block"
+
+
+class RangeDistribution(_BoundaryDistribution):
+    """1D Range: contiguous ranges balancing #nnz per PE (paper Fig. 6).
+
+    Boundaries are the points where the cumulative non-zero count crosses
+    ``k · nnz / P``, so every PE holds a similar number of edges.
+    """
+
+    def __init__(self, n_rows: int, n_pes: int, boundaries: np.ndarray) -> None:
+        super().__init__(n_rows, n_pes, boundaries)
+
+    @property
+    def name(self) -> str:
+        return "range"
+
+    @classmethod
+    def from_graph(cls, graph: LowerTriangular, n_pes: int) -> "RangeDistribution":
+        degrees = graph.row_degrees()
+        cum = np.concatenate(([0], np.cumsum(degrees)))
+        total = cum[-1]
+        targets = np.arange(1, n_pes) * (total / n_pes)
+        inner = np.searchsorted(cum, targets, side="left")
+        bounds = np.concatenate(([0], inner, [graph.n_vertices]))
+        # enforce monotonicity in degenerate cases (few rows, many PEs)
+        bounds = np.maximum.accumulate(bounds)
+        return cls(graph.n_vertices, n_pes, bounds)
+
+
+def make_distribution(kind: str, graph: LowerTriangular, n_pes: int) -> Distribution:
+    """Construct a distribution by name over ``graph``'s rows."""
+    kind = kind.lower()
+    if kind == "cyclic":
+        return CyclicDistribution(graph.n_vertices, n_pes)
+    if kind == "range":
+        return RangeDistribution.from_graph(graph, n_pes)
+    if kind == "block":
+        return BlockDistribution(graph.n_vertices, n_pes)
+    raise ValueError(f"unknown distribution {kind!r}; want cyclic/range/block")

@@ -1,0 +1,87 @@
+"""R-MAT / graph500 edge generation (vectorized).
+
+The recursive-matrix generator: each edge picks one quadrant per scale
+level with probabilities (A, B, C, D); the paper's experiments use the
+graph500 standard A=0.57, B=C=0.19, D=0.05 with an edge factor of 16.
+The heavy-tailed degree distribution this produces is the root cause of
+every load imbalance ActorProf visualizes in Section IV.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rmat_edges(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+) -> np.ndarray:
+    """Generate raw directed R-MAT edges (may contain dups/self-loops).
+
+    Returns an ``(m, 2)`` int64 array with ``m = edge_factor * 2**scale``.
+    ``d`` is implied as ``1 - a - b - c``.
+    """
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    if edge_factor < 1:
+        raise ValueError(f"edge_factor must be >= 1, got {edge_factor}")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0 or max(a, b, c, d) > 1:
+        raise ValueError(f"invalid quadrant probabilities a={a} b={b} c={c} d={d}")
+    rng = np.random.default_rng(seed)
+    n_edges = edge_factor * (1 << scale)
+    src = np.zeros(n_edges, dtype=np.int64)
+    dst = np.zeros(n_edges, dtype=np.int64)
+    # quadrant choice per level: 0=(0,0)/A, 1=(0,1)/B, 2=(1,0)/C, 3=(1,1)/D
+    cum = np.cumsum([a, b, c])
+    for _level in range(scale):
+        r = rng.random(n_edges)
+        quad = np.searchsorted(cum, r)
+        src = (src << 1) | (quad >> 1)
+        dst = (dst << 1) | (quad & 1)
+    return np.stack([src, dst], axis=1)
+
+
+def graph500_input(scale: int, edge_factor: int = 16, seed: int = 0) -> np.ndarray:
+    """The paper's input: unique lower-triangular undirected edges.
+
+    Generates R-MAT edges with the graph500 parameters, drops self-loops,
+    canonicalizes each undirected edge as (max, min) — i.e. the lower
+    triangular part, row > column — and deduplicates.  Returns an
+    ``(m, 2)`` array of (row, col) with row > col, sorted.
+    """
+    raw = rmat_edges(scale, edge_factor, a=0.57, b=0.19, c=0.19, seed=seed)
+    src, dst = raw[:, 0], raw[:, 1]
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    rows = np.maximum(src, dst)
+    cols = np.minimum(src, dst)
+    edges = np.unique(np.stack([rows, cols], axis=1), axis=0)
+    return edges
+
+
+def erdos_renyi_edges(n: int, m: int, seed: int = 0) -> np.ndarray:
+    """``m`` unique lower-triangular edges drawn uniformly (G(n, m)).
+
+    A flat-degree counterpoint to R-MAT, used by ablation benches to show
+    that the cyclic distribution's imbalance comes from the power law,
+    not from the distribution itself.
+    """
+    if n < 2:
+        raise ValueError(f"need at least 2 vertices, got {n}")
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ValueError(f"requested {m} edges but K_{n} has only {max_edges}")
+    rng = np.random.default_rng(seed)
+    # sample edge ids without replacement from the strict lower triangle
+    ids = rng.choice(max_edges, size=m, replace=False)
+    # invert the triangular index: edge k ↔ (row, col)
+    rows = (np.floor((1 + np.sqrt(1 + 8 * ids.astype(np.float64))) / 2)).astype(np.int64)
+    cols = (ids - rows * (rows - 1) // 2).astype(np.int64)
+    edges = np.stack([rows, cols], axis=1)
+    order = np.lexsort((edges[:, 1], edges[:, 0]))
+    return edges[order]

@@ -1,0 +1,39 @@
+"""Simulated HClib-Actor: the FA-BSP runtime.
+
+This package reconstructs the programming model of HClib-Actor (the
+paper's Section II): SPMD execution with one single-threaded actor per PE,
+asynchronous ``send`` with automatic aggregation via Conveyors, message
+handlers that run one at a time, and a ``finish`` scope that waits until
+all outgoing messages are sent and all incoming messages are processed.
+
+The runtime exposes the tracing hook points ActorProf instruments
+(:class:`~repro.hclib.hooks.RuntimeHooks`): region transitions between
+MAIN (message construction + local computation), PROC (message handling)
+and COMM (everything else — aggregation, network, waiting), plus per-send
+callbacks for the logical trace.
+
+Public surface:
+
+* :func:`~repro.hclib.world.run_spmd` — run an SPMD program.
+* :class:`~repro.hclib.world.PEContext` — per-PE handle (finish scopes,
+  shmem access, local-compute charging).
+* :class:`~repro.hclib.actor.Selector` / :class:`~repro.hclib.actor.Actor`
+  — the messaging classes from Listings 1–2.
+"""
+
+from repro.hclib.actor import Actor, Mailbox, Selector
+from repro.hclib.hooks import NullHooks, RuntimeHooks
+from repro.hclib.world import FinishScope, PEContext, RunResult, World, run_spmd
+
+__all__ = [
+    "Actor",
+    "FinishScope",
+    "Mailbox",
+    "NullHooks",
+    "PEContext",
+    "RunResult",
+    "RuntimeHooks",
+    "Selector",
+    "World",
+    "run_spmd",
+]

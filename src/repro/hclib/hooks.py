@@ -1,0 +1,83 @@
+"""Tracing hook points placed inside the HClib-Actor runtime.
+
+The paper (Section III): "ActorProf begins the trace generation by using
+tracing hooks placed inside run-time system HClib-Actor, and the
+aggregation library Conveyors."  These are those hooks.  The runtime calls
+them unconditionally; the disabled default (:class:`NullHooks`) makes them
+no-ops, mirroring compiled-out macros.
+
+Region protocol
+---------------
+``main_enter``/``main_exit`` bracket user code in the finish body — entered
+when the body starts, *exited* while the runtime is inside ``send``
+internals or draining, and re-entered afterwards, so accumulated
+MAIN time is exactly "body minus send" (Table I).  ``proc_enter``/
+``proc_exit`` bracket each message-handler invocation (or batch).  COMM is
+everything else and is derived, never measured directly — exactly like the
+paper's ``T_COMM = T_TOTAL − T_MAIN − T_PROC``.
+
+The user application is prohibited from calling these APIs (Table I,
+"Region"); only the runtime does.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+
+class RuntimeHooks(Protocol):
+    """Receiver of HClib-Actor runtime events (implemented by ActorProf)."""
+
+    def finish_start(self, pe: int) -> None:
+        """A finish scope opened on ``pe`` (T_TOTAL measurement starts)."""
+
+    def finish_end(self, pe: int) -> None:
+        """The finish scope on ``pe`` completed (all messages processed)."""
+
+    def main_enter(self, pe: int) -> None:
+        """``pe`` (re-)entered user MAIN code."""
+
+    def main_exit(self, pe: int) -> None:
+        """``pe`` left user MAIN code (entering runtime internals)."""
+
+    def proc_enter(self, pe: int, mailbox: int) -> None:
+        """``pe`` is about to run message handler(s) for ``mailbox``."""
+
+    def proc_exit(self, pe: int, mailbox: int, n_items: int) -> None:
+        """Handler(s) for ``mailbox`` finished; ``n_items`` were processed."""
+
+    def send(self, pe: int, mailbox: int, dst: int, nbytes: int) -> None:
+        """One asynchronous point-to-point send (pre-aggregation)."""
+
+    def send_batch(self, pe: int, mailbox: int, dsts: np.ndarray, nbytes: int) -> None:
+        """A vectorized batch of sends; ``nbytes`` is the per-message size."""
+
+
+class NullHooks:
+    """All hooks compiled out (no profiling flags enabled)."""
+
+    def finish_start(self, pe: int) -> None:  # noqa: D102
+        pass
+
+    def finish_end(self, pe: int) -> None:  # noqa: D102
+        pass
+
+    def main_enter(self, pe: int) -> None:  # noqa: D102
+        pass
+
+    def main_exit(self, pe: int) -> None:  # noqa: D102
+        pass
+
+    def proc_enter(self, pe: int, mailbox: int) -> None:  # noqa: D102
+        pass
+
+    def proc_exit(self, pe: int, mailbox: int, n_items: int) -> None:  # noqa: D102
+        pass
+
+    def send(self, pe: int, mailbox: int, dst: int, nbytes: int) -> None:  # noqa: D102
+        pass
+
+    def send_batch(self, pe: int, mailbox: int, dsts: np.ndarray, nbytes: int) -> None:  # noqa: D102
+        pass

@@ -1,0 +1,394 @@
+"""The FA-BSP world: SPMD launch, per-PE contexts, and finish scopes.
+
+:func:`run_spmd` is the top-level entry point of the whole simulated
+stack: it assembles scheduler → shmem → conveyors → actors, runs one copy
+of the program per PE, and returns the per-PE results.
+
+Region accounting: a :class:`PEContext` tracks whether the PE is executing
+user MAIN code (inside a finish body, outside runtime internals) and emits
+``main_enter``/``main_exit`` hook events on every transition, so an
+attached profiler measures MAIN as exactly "finish body minus send
+internals" (paper Table I).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.conveyors.conveyor import ConveyorConfig, ConveyorGroup
+from repro.conveyors.hooks import NullTraceSink, TraceSink
+from repro.hclib.hooks import NullHooks, RuntimeHooks
+from repro.machine.cost import CostModel
+from repro.machine.spec import MachineSpec
+from repro.shmem.runtime import ShmemContext, ShmemRuntime
+from repro.sim.errors import SimulationError
+from repro.sim.rng import spawn_rngs
+from repro.sim.scheduler import CoopScheduler
+
+
+class _SelectorSlot:
+    """Symmetric (collective) state of one Selector across PEs."""
+
+    def __init__(
+        self,
+        world: "World",
+        mailboxes: int,
+        payload_words: list[int],
+        config: ConveyorConfig,
+    ) -> None:
+        self.mailboxes = mailboxes
+        self.payload_words = payload_words
+        self.config = config
+        self.groups = [
+            ConveyorGroup(
+                world.shmem,
+                ConveyorConfig(
+                    payload_words=w,
+                    buffer_items=config.buffer_items,
+                    slots=config.slots,
+                    topology=config.topology,
+                    self_send_bypass=config.self_send_bypass,
+                    item_header_bytes=config.item_header_bytes,
+                    buffer_header_bytes=config.buffer_header_bytes,
+                ),
+                tracer=world.physical_tracer,
+            )
+            for w in payload_words
+        ]
+
+
+class World:
+    """Everything global to one simulated FA-BSP job."""
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        cost: CostModel | None = None,
+        conveyor_config: ConveyorConfig | None = None,
+        hooks: RuntimeHooks | None = None,
+        physical_tracer: TraceSink | None = None,
+        seed: int = 0,
+        log_shmem_calls: bool = False,
+    ) -> None:
+        self.spec = spec
+        self.scheduler = CoopScheduler(spec.n_pes)
+        self.shmem = ShmemRuntime(self.scheduler, spec, cost=cost, log_calls=log_shmem_calls)
+        self.cost = self.shmem.cost
+        self.conveyor_config = conveyor_config or ConveyorConfig()
+        self.hooks: RuntimeHooks = hooks if hooks is not None else NullHooks()
+        self.physical_tracer: TraceSink = (
+            physical_tracer if physical_tracer is not None else NullTraceSink()
+        )
+        self.seed = seed
+        self.rngs = spawn_rngs(seed, spec.n_pes)
+        self.contexts = [PEContext(self, r) for r in range(spec.n_pes)]
+        self._slots: list[_SelectorSlot] = []
+        self._slot_cursor = [0] * spec.n_pes
+
+    def _selector_slot(
+        self,
+        rank: int,
+        mailboxes: int,
+        payload_words: list[int],
+        config: ConveyorConfig | None,
+    ) -> _SelectorSlot:
+        """Symmetric selector construction (like symmetric malloc)."""
+        config = config or self.conveyor_config
+        idx = self._slot_cursor[rank]
+        self._slot_cursor[rank] += 1
+        if idx < len(self._slots):
+            slot = self._slots[idx]
+            if slot.mailboxes != mailboxes or slot.payload_words != payload_words:
+                raise SimulationError(
+                    f"selector construction #{idx} diverged across PEs: "
+                    f"PE {rank} built {mailboxes} mailboxes / {payload_words} words, "
+                    f"earlier PEs built {slot.mailboxes} / {slot.payload_words}"
+                )
+            return slot
+        slot = _SelectorSlot(self, mailboxes, payload_words, config)
+        self._slots.append(slot)
+        return slot
+
+    def run(self, program: Callable[["PEContext"], Any]) -> list[Any]:
+        """Execute ``program(ctx)`` on every PE; returns per-PE results."""
+        results: list[Any] = [None] * self.spec.n_pes
+
+        def entry(rank: int) -> None:
+            results[rank] = program(self.contexts[rank])
+
+        self.scheduler.run(entry)
+        return results
+
+
+class FinishScope:
+    """``hclib::finish``: waits for all sends to land and be processed."""
+
+    def __init__(self, ctx: "PEContext") -> None:
+        self.ctx = ctx
+        self.selectors: list = []
+        self._tasks: list = []
+        self._active = False
+
+    def _register(self, selector) -> None:
+        self.selectors.append(selector)
+
+    def _run_pending_tasks(self) -> int:
+        """Execute queued async tasks (MAIN region), FIFO."""
+        ctx = self.ctx
+        ran = 0
+        while self._tasks:
+            fn = self._tasks.pop(0)
+            ctx._enter_main()
+            try:
+                fn()
+            finally:
+                ctx._exit_main()
+            ran += 1
+        return ran
+
+    def __enter__(self) -> "FinishScope":
+        ctx = self.ctx
+        ctx._finish_stack.append(self)
+        self._active = True
+        ctx.world.hooks.finish_start(ctx.rank)
+        ctx._enter_main()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        ctx = self.ctx
+        ctx._exit_main()
+        self._active = False
+        try:
+            if exc_type is None:
+                self._drain()
+        finally:
+            ctx._finish_stack.pop()
+            ctx.world.hooks.finish_end(ctx.rank)
+
+    def _drain(self) -> None:
+        """Run handlers until every registered selector is complete."""
+        ctx = self.ctx
+        sels = self.selectors
+        # Async tasks deferred in the body run first — they may send and
+        # may be the ones calling done() (the HClib async idiom).
+        self._run_pending_tasks()
+        # Only the entry mailbox needs an explicit done(); later mailboxes
+        # terminate via chained cascade when their predecessor completes.
+        missing = [
+            i for i, s in enumerate(sels) if not s.mb[0].done_called
+        ]
+        if missing:
+            raise SimulationError(
+                f"PE {ctx.rank}: finish scope ended but done() was never called "
+                f"on mailbox 0 of selector(s) {missing}; the finish would wait "
+                "forever"
+            )
+
+        def all_complete() -> bool:
+            return all(s.is_complete() for s in sels)
+
+        def visible() -> bool:
+            return any(
+                s._has_visible_work() or s._cascade_pending() for s in sels
+            )
+
+        while not all_complete() or self._tasks:
+            handled = self._run_pending_tasks()  # handlers may spawn tasks
+            for s in sels:
+                handled += s._progress()
+            if all_complete() and not self._tasks:
+                break
+            if handled == 0 and not visible():
+                arrivals = [t for s in sels if (t := s._next_arrival()) is not None]
+                if arrivals:
+                    # Buffers are in flight to us: sleep until the earliest
+                    # lands (or something becomes visible / all complete).
+                    ctx.scheduler.block(
+                        ctx.rank,
+                        predicate=lambda: all_complete() or visible(),
+                        wakeup_time=min(arrivals),
+                        reason="finish drain (awaiting arrival)",
+                    )
+                else:
+                    # Nothing in flight to us yet: wake when anything is
+                    # delivered here (even future-stamped — the next loop
+                    # iteration re-blocks with its arrival time) or when
+                    # the conveyors quiesce globally.
+                    ctx.scheduler.block(
+                        ctx.rank,
+                        predicate=lambda: all_complete()
+                        or any(s._has_any_inbound() for s in sels),
+                        reason="finish drain (idle)",
+                    )
+            else:
+                ctx.scheduler.yield_pe(ctx.rank)
+
+
+class PEContext:
+    """Per-PE handle passed to SPMD programs."""
+
+    def __init__(self, world: World, rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.shmem: ShmemContext = world.shmem.contexts[rank]
+        self.perf = world.shmem.perf[rank]
+        self.scheduler = world.scheduler
+        self.rng: np.random.Generator = world.rngs[rank]
+        self._finish_stack: list[FinishScope] = []
+        self._main_depth = 0
+
+    # --- identity --------------------------------------------------------
+
+    @property
+    def my_pe(self) -> int:
+        return self.rank
+
+    @property
+    def n_pes(self) -> int:
+        return self.world.spec.n_pes
+
+    @property
+    def spec(self) -> MachineSpec:
+        return self.world.spec
+
+    # --- structured parallelism -------------------------------------------
+
+    def finish(self) -> FinishScope:
+        """Open a finish scope (use as a context manager)."""
+        return FinishScope(self)
+
+    def async_(self, fn: Callable[[], Any]) -> None:
+        """``hclib::async``: defer ``fn`` to run on this PE before the
+        enclosing finish completes.
+
+        Tasks register with the *innermost* enclosing finish (HClib
+        semantics) and run cooperatively on the PE's single thread at the
+        finish drain, FIFO, inside the MAIN region.  Tasks may send
+        messages, spawn further tasks, and call ``done()`` — the finish
+        waits for all of it.
+        """
+        scope = self._current_finish()
+        if scope is None:
+            raise SimulationError("async_() must be called inside a finish scope")
+        self.perf.work(ins=20, loads=3, stores=3)  # task allocation/enqueue
+        scope._tasks.append(fn)
+
+    def _current_finish(self) -> FinishScope | None:
+        return self._finish_stack[-1] if self._finish_stack else None
+
+    # --- region tracking ----------------------------------------------------
+
+    def _enter_main(self) -> None:
+        self._main_depth += 1
+        if self._main_depth == 1:
+            self.world.hooks.main_enter(self.rank)
+
+    def _exit_main(self) -> None:
+        if self._main_depth > 0:
+            self._main_depth -= 1
+            if self._main_depth == 0:
+                self.world.hooks.main_exit(self.rank)
+
+    @contextlib.contextmanager
+    def _runtime_section(self):
+        """Suspend MAIN accounting while inside runtime internals."""
+        was_main = self._main_depth > 0
+        if was_main:
+            self._exit_main()
+        try:
+            yield
+        finally:
+            if was_main:
+                self._enter_main()
+
+    # --- user work ------------------------------------------------------------
+
+    def compute(self, ins: int = 0, loads: int = 0, stores: int = 0,
+                branches: int = 0, flops: int = 0, vec: int = 0) -> None:
+        """Charge local computation (attributed to the current region)."""
+        self.perf.work(ins=ins, loads=loads, stores=stores,
+                       branches=branches, flops=flops, vec=vec)
+
+    def barrier(self) -> None:
+        """Convenience pass-through to ``shmem_barrier_all``."""
+        with self._runtime_section():
+            self.shmem.barrier_all()
+
+    def yield_pe(self) -> None:
+        """Cooperatively offer the simulated CPU to other PEs."""
+        self.scheduler.yield_pe(self.rank)
+
+
+@dataclass
+class RunResult:
+    """Outcome of :func:`run_spmd`."""
+
+    results: list[Any]
+    world: World
+
+    @property
+    def clocks(self) -> list[int]:
+        """Final per-PE cycle counts."""
+        return [c.now for c in self.world.scheduler.clocks]
+
+
+def run_spmd(
+    program: Callable[[PEContext], Any],
+    machine: MachineSpec | None = None,
+    cost: CostModel | None = None,
+    conveyor_config: ConveyorConfig | None = None,
+    profiler=None,
+    seed: int = 0,
+    log_shmem_calls: bool = False,
+    shmem_observers: Sequence[Any] = (),
+) -> RunResult:
+    """Run an SPMD FA-BSP ``program`` on a simulated ``machine``.
+
+    Parameters
+    ----------
+    program:
+        Callable executed once per PE with a :class:`PEContext`.
+    machine:
+        Cluster shape; defaults to 1 node × 4 PEs.
+    cost:
+        Cost-model overrides.
+    conveyor_config:
+        Default conveyor configuration for selectors.
+    profiler:
+        An :class:`~repro.core.profiler.ActorProf` instance (or anything
+        with an ``attach(world)`` returning ``(hooks, tracer)``); None
+        disables all profiling.
+    seed:
+        Seed for per-PE RNG streams (``ctx.rng``).
+    shmem_observers:
+        pshmem-style observers to attach to the SHMEM runtime (objects
+        with an ``attach(runtime)`` method, e.g. the baseline profilers
+        in :mod:`repro.core.baseline`).
+
+    Returns
+    -------
+    RunResult
+        Per-PE return values plus the world for inspection.
+    """
+    spec = machine or MachineSpec(1, 4)
+    world = World(
+        spec,
+        cost=cost,
+        conveyor_config=conveyor_config,
+        seed=seed,
+        log_shmem_calls=log_shmem_calls,
+    )
+    for observer in shmem_observers:
+        observer.attach(world.shmem)
+    if profiler is not None:
+        hooks, tracer = profiler.attach(world)
+        if hooks is not None:
+            world.hooks = hooks
+        if tracer is not None:
+            world.physical_tracer = tracer
+    results = world.run(program)
+    return RunResult(results=results, world=world)

@@ -1,0 +1,30 @@
+"""Simulated hardware model.
+
+This package describes the *machine* an FA-BSP program runs on:
+
+* :class:`~repro.machine.spec.MachineSpec` — cluster shape (nodes × PEs per
+  node), the analogue of the paper's Perlmutter allocation.
+* :class:`~repro.machine.cost.CostModel` — cycle/instruction charges for
+  every simulated operation.
+* :class:`~repro.machine.counters.CounterBank` — per-PE hardware-counter
+  state (the substrate the simulated PAPI reads).
+* :class:`~repro.machine.network.NetworkModel` — intra-/inter-node transfer
+  timing.
+* :class:`~repro.machine.perf.PerfCore` — the per-PE bundle of clock +
+  counters + cost model through which all work is charged.
+"""
+
+from repro.machine.cost import CostModel
+from repro.machine.counters import CounterBank, CounterSnapshot
+from repro.machine.network import NetworkModel
+from repro.machine.perf import PerfCore
+from repro.machine.spec import MachineSpec
+
+__all__ = [
+    "CostModel",
+    "CounterBank",
+    "CounterSnapshot",
+    "MachineSpec",
+    "NetworkModel",
+    "PerfCore",
+]

@@ -1,0 +1,48 @@
+"""Network timing model.
+
+Transfers between PEs cost cycles according to whether the endpoints share
+a node (memcpy through shared memory via ``shmem_ptr``) or not (NIC
+latency + per-byte wire cost).  The model is deliberately simple — the
+paper's physical trace cares about *which* operations happen on which
+pairs, and their relative cost, not about congestion modelling.
+"""
+
+from __future__ import annotations
+
+from repro.machine.cost import CostModel
+from repro.machine.spec import MachineSpec
+
+
+class NetworkModel:
+    """Cycle costs for data movement between PEs."""
+
+    def __init__(self, spec: MachineSpec, cost: CostModel) -> None:
+        self.spec = spec
+        self.cost = cost
+
+    def is_local(self, src: int, dst: int) -> bool:
+        """True when ``src`` → ``dst`` stays within one node."""
+        return self.spec.same_node(src, dst)
+
+    def transfer_cycles(self, src: int, dst: int, nbytes: int) -> int:
+        """Cycles from initiation until the payload is visible at ``dst``."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        if self.is_local(src, dst):
+            return self.cost.memcpy_cycles(nbytes)
+        return self.cost.net_transfer_cycles(nbytes)
+
+    def issue_cycles(self, src: int, dst: int, nbytes: int) -> int:
+        """Sender-side cycles consumed by initiating the transfer.
+
+        Local transfers are synchronous memcpys (the full copy runs on the
+        sender); remote non-blocking puts only pay the issue cost, with the
+        wire time overlapping subsequent computation.
+        """
+        if self.is_local(src, dst):
+            return self.cost.memcpy_cycles(nbytes)
+        return self.cost.put_issue_cycles
+
+    def arrival_time(self, src: int, dst: int, nbytes: int, issued_at: int) -> int:
+        """Absolute cycle at which a transfer issued at ``issued_at`` lands."""
+        return issued_at + self.transfer_cycles(src, dst, nbytes)

@@ -1,0 +1,126 @@
+"""Per-PE performance core: clock + counters + cost model.
+
+Every simulated layer charges work through a :class:`PerfCore`.  Charging
+both advances the PE's virtual cycle clock and increments the counter bank
+the simulated PAPI reads, which is what keeps ActorProf's cycle breakdown
+(Figs. 12–13) and instruction profiles (Figs. 10–11) mutually consistent.
+
+Synthetic micro-architectural events (cache misses, branch mispredictions)
+are derived deterministically from the charged loads/branches using
+fractional-residue accumulation — no randomness, so identical programs
+yield identical counter values.
+"""
+
+from __future__ import annotations
+
+from repro.machine.cost import CostModel
+from repro.machine.counters import CounterBank
+from repro.sim.clock import CycleClock
+
+
+class PerfCore:
+    """The charging interface for one PE.
+
+    Parameters
+    ----------
+    clock:
+        The PE's virtual cycle clock (shared with the scheduler).
+    cost:
+        Cost table used to convert work into cycles/counters.
+    """
+
+    __slots__ = ("clock", "cost", "counters", "_l1_resid", "_l2_resid", "_br_resid")
+
+    def __init__(self, clock: CycleClock, cost: CostModel) -> None:
+        self.clock = clock
+        self.cost = cost
+        self.counters = CounterBank()
+        self._l1_resid = 0.0
+        self._l2_resid = 0.0
+        self._br_resid = 0.0
+
+    # ------------------------------------------------------------------
+
+    def rdtsc(self) -> int:
+        """Read the virtual time-stamp counter."""
+        return self.clock.now
+
+    def work(
+        self,
+        ins: int = 0,
+        loads: int = 0,
+        stores: int = 0,
+        branches: int = 0,
+        flops: int = 0,
+        vec: int = 0,
+        extra_cycles: int = 0,
+    ) -> int:
+        """Charge a block of straight-line work.
+
+        ``ins`` is the *total* instruction count of the block (loads,
+        stores, branches, flops and vector instructions are categorised
+        subsets, not additions).  Returns the cycles charged.
+        """
+        if min(ins, loads, stores, branches, flops, vec, extra_cycles) < 0:
+            raise ValueError("work amounts must be non-negative")
+        c = self.counters
+        c.add("PAPI_TOT_INS", ins)
+        c.add("PAPI_LST_INS", loads + stores)
+        c.add("PAPI_LD_INS", loads)
+        c.add("PAPI_SR_INS", stores)
+        c.add("PAPI_BR_INS", branches)
+        c.add("PAPI_FP_OPS", flops)
+        c.add("PAPI_VEC_INS", vec)
+        self._l1_resid += loads * self.cost.l1_miss_rate
+        l1 = int(self._l1_resid)
+        self._l1_resid -= l1
+        c.add("PAPI_L1_DCM", l1)
+        self._l2_resid += loads * self.cost.l2_miss_rate
+        l2 = int(self._l2_resid)
+        self._l2_resid -= l2
+        c.add("PAPI_L2_DCM", l2)
+        self._br_resid += branches * self.cost.branch_misp_rate
+        br = int(self._br_resid)
+        self._br_resid -= br
+        c.add("PAPI_BR_MSP", br)
+        cycles = self.cost.ins_cycles(ins) + extra_cycles
+        cycles += int(round(loads * self.cost.load_fraction_penalty))
+        self._advance(cycles)
+        return cycles
+
+    def stall(self, cycles: int) -> int:
+        """Charge pure waiting time (cycles with no retired instructions)."""
+        if cycles < 0:
+            raise ValueError(f"negative stall: {cycles}")
+        self._advance(cycles)
+        return cycles
+
+    def stall_until(self, t: int) -> int:
+        """Wait until absolute cycle ``t`` (no-op if already past).
+
+        Returns the cycles actually waited.
+        """
+        waited = max(0, t - self.clock.now)
+        if waited:
+            self._advance(waited)
+        return waited
+
+    def memcpy(self, nbytes: int) -> int:
+        """Charge an intra-node memcpy of ``nbytes`` (cycles + counters)."""
+        if nbytes < 0:
+            raise ValueError(f"negative memcpy size: {nbytes}")
+        line = self.cost.cache_line_bytes
+        touches = max(1, (nbytes + line - 1) // line)
+        # A streaming copy retires roughly one load+store pair per line.
+        c = self.counters
+        c.add("PAPI_TOT_INS", 2 * touches)
+        c.add("PAPI_LST_INS", 2 * touches)
+        c.add("PAPI_LD_INS", touches)
+        c.add("PAPI_SR_INS", touches)
+        cycles = self.cost.memcpy_cycles(nbytes)
+        self._advance(cycles)
+        return cycles
+
+    def _advance(self, cycles: int) -> None:
+        self.counters.add("PAPI_TOT_CYC", cycles)
+        self.clock.advance(cycles)

@@ -1,0 +1,24 @@
+"""Simulated PAPI (Performance Application Programming Interface).
+
+A faithful-in-shape reimplementation of the PAPI preset-counter API that
+ActorProf uses: event sets of up to :data:`~repro.papi.eventset.MAX_EVENTS`
+(four — the limitation the paper cites) preset events, with
+``start``/``stop``/``read``/``accum``/``reset`` semantics, reading from the
+per-PE :class:`~repro.machine.counters.CounterBank` maintained by the cost
+model instead of hardware MSRs.
+"""
+
+from repro.papi.events import EVENT_DESCRIPTIONS, PRESET_EVENTS, describe_event, is_preset
+from repro.papi.eventset import MAX_EVENTS, EventSet, PAPIError
+from repro.papi.library import PAPI
+
+__all__ = [
+    "EVENT_DESCRIPTIONS",
+    "EventSet",
+    "MAX_EVENTS",
+    "PAPI",
+    "PAPIError",
+    "PRESET_EVENTS",
+    "describe_event",
+    "is_preset",
+]

@@ -1,0 +1,87 @@
+"""Derived metrics over PAPI counter values.
+
+Section III-A sketches the inferences counters support — "memory (data and
+instruction) counters indicate cache/TLB thrashing; information on
+loads/stores and branch prediction stalls; ... retired instruction
+profiling; Vector/SIMD profiling".  These helpers turn raw counter
+dictionaries into those rates, VTune-style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.counters import CounterSnapshot
+
+
+def _get(values, name: str) -> int:
+    if isinstance(values, CounterSnapshot):
+        return values[name]
+    return int(values.get(name, 0))
+
+
+def ipc(values) -> float:
+    """Instructions per cycle (0 when no cycles elapsed)."""
+    cyc = _get(values, "PAPI_TOT_CYC")
+    return _get(values, "PAPI_TOT_INS") / cyc if cyc else 0.0
+
+
+def l1_miss_rate(values) -> float:
+    """L1 data-cache misses per load."""
+    loads = _get(values, "PAPI_LD_INS")
+    return _get(values, "PAPI_L1_DCM") / loads if loads else 0.0
+
+
+def l2_miss_rate(values) -> float:
+    """L2 data-cache misses per load."""
+    loads = _get(values, "PAPI_LD_INS")
+    return _get(values, "PAPI_L2_DCM") / loads if loads else 0.0
+
+
+def branch_misprediction_rate(values) -> float:
+    """Mispredicted branches per branch instruction."""
+    branches = _get(values, "PAPI_BR_INS")
+    return _get(values, "PAPI_BR_MSP") / branches if branches else 0.0
+
+
+def memory_intensity(values) -> float:
+    """Load/store instructions per retired instruction."""
+    ins = _get(values, "PAPI_TOT_INS")
+    return _get(values, "PAPI_LST_INS") / ins if ins else 0.0
+
+
+def vectorization_ratio(values) -> float:
+    """Vector/SIMD instructions per retired instruction."""
+    ins = _get(values, "PAPI_TOT_INS")
+    return _get(values, "PAPI_VEC_INS") / ins if ins else 0.0
+
+
+@dataclass(frozen=True)
+class DerivedMetrics:
+    """All derived rates for one counter set."""
+
+    ipc: float
+    l1_miss_rate: float
+    l2_miss_rate: float
+    branch_misprediction_rate: float
+    memory_intensity: float
+    vectorization_ratio: float
+
+    @classmethod
+    def of(cls, values) -> "DerivedMetrics":
+        return cls(
+            ipc=ipc(values),
+            l1_miss_rate=l1_miss_rate(values),
+            l2_miss_rate=l2_miss_rate(values),
+            branch_misprediction_rate=branch_misprediction_rate(values),
+            memory_intensity=memory_intensity(values),
+            vectorization_ratio=vectorization_ratio(values),
+        )
+
+    def describe(self) -> str:
+        """One-line VTune-style summary."""
+        return (
+            f"IPC={self.ipc:.2f} L1={self.l1_miss_rate:.1%} "
+            f"L2={self.l2_miss_rate:.2%} brMiss={self.branch_misprediction_rate:.1%} "
+            f"mem={self.memory_intensity:.1%} vec={self.vectorization_ratio:.1%}"
+        )

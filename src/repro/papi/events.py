@@ -1,0 +1,39 @@
+"""PAPI preset event definitions.
+
+The preset names mirror real PAPI spellings; availability is defined by
+what the simulated :class:`~repro.machine.counters.CounterBank` maintains.
+"""
+
+from __future__ import annotations
+
+from repro.machine.counters import COUNTER_NAMES
+
+#: Preset events available in the simulated PAPI (all bank counters).
+PRESET_EVENTS: tuple[str, ...] = COUNTER_NAMES
+
+EVENT_DESCRIPTIONS: dict[str, str] = {
+    "PAPI_TOT_INS": "Instructions completed",
+    "PAPI_TOT_CYC": "Total cycles",
+    "PAPI_LST_INS": "Load/store instructions completed",
+    "PAPI_LD_INS": "Load instructions completed",
+    "PAPI_SR_INS": "Store instructions completed",
+    "PAPI_BR_INS": "Branch instructions completed",
+    "PAPI_BR_MSP": "Conditional branch instructions mispredicted",
+    "PAPI_L1_DCM": "Level 1 data cache misses",
+    "PAPI_L2_DCM": "Level 2 data cache misses",
+    "PAPI_FP_OPS": "Floating point operations",
+    "PAPI_VEC_INS": "Vector/SIMD instructions completed",
+}
+
+
+def is_preset(name: str) -> bool:
+    """True when ``name`` is an available preset event."""
+    return name in PRESET_EVENTS
+
+
+def describe_event(name: str) -> str:
+    """Human-readable description of a preset event."""
+    try:
+        return EVENT_DESCRIPTIONS[name]
+    except KeyError:
+        raise KeyError(f"unknown PAPI event {name!r}") from None

@@ -1,0 +1,35 @@
+"""Per-PE PAPI library facade."""
+
+from __future__ import annotations
+
+from repro.machine.counters import CounterBank
+from repro.machine.perf import PerfCore
+from repro.papi.events import PRESET_EVENTS, is_preset
+from repro.papi.eventset import EventSet
+
+
+class PAPI:
+    """The PAPI library as seen by one PE.
+
+    Constructed from the PE's :class:`~repro.machine.perf.PerfCore` (or a
+    bare :class:`~repro.machine.counters.CounterBank` for unit tests).
+    """
+
+    def __init__(self, source: PerfCore | CounterBank) -> None:
+        self._bank = source.counters if isinstance(source, PerfCore) else source
+
+    def create_eventset(self) -> EventSet:
+        """``PAPI_create_eventset``."""
+        return EventSet(self._bank)
+
+    def query_event(self, name: str) -> bool:
+        """``PAPI_query_event``: is this preset available?"""
+        return is_preset(name)
+
+    def num_counters(self) -> int:
+        """Number of preset counters the platform exposes."""
+        return len(PRESET_EVENTS)
+
+    def read_counter(self, name: str) -> int:
+        """Raw free-running value of one counter (diagnostic)."""
+        return self._bank.read(name)

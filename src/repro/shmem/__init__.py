@@ -1,0 +1,27 @@
+"""Simulated OpenSHMEM.
+
+A functional, timed simulation of the subset of OpenSHMEM that the FA-BSP
+stack uses:
+
+* symmetric heap allocation (:class:`~repro.shmem.heap.SymmetricArray`),
+* remote memory access — blocking ``put``/``get``, non-blocking
+  ``putmem_nbi`` with ``quiet``/``fence`` completion,
+* ``shmem_ptr`` shared-memory access between PEs on the same node,
+* collectives — ``barrier_all``, ``broadcast``, ``allreduce``, ``alltoall``.
+
+The runtime is SPMD: every PE executes the same program and reaches
+collectives collectively.  All operations charge cycles through the PE's
+:class:`~repro.machine.perf.PerfCore`, and every call is appended to an
+optional call log that tests and the physical tracer can inspect.
+"""
+
+from repro.shmem.heap import SymmetricArray, SymmetricHeap
+from repro.shmem.runtime import ShmemCall, ShmemContext, ShmemRuntime
+
+__all__ = [
+    "ShmemCall",
+    "ShmemContext",
+    "ShmemRuntime",
+    "SymmetricArray",
+    "SymmetricHeap",
+]

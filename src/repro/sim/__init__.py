@@ -1,0 +1,35 @@
+"""Discrete-event simulation kernel.
+
+This package provides the execution substrate every simulated runtime layer
+(:mod:`repro.shmem`, :mod:`repro.conveyors`, :mod:`repro.hclib`) is built on:
+
+* :class:`~repro.sim.clock.CycleClock` — per-PE virtual cycle counters
+  (the simulated ``rdtsc``).
+* :class:`~repro.sim.events.EventQueue` — a timed event queue used for
+  message arrivals and other future actions.
+* :class:`~repro.sim.scheduler.CoopScheduler` — a deterministic cooperative
+  scheduler that runs one Python thread per simulated PE, with exactly one
+  thread executing at a time, selected by (virtual clock, rank).
+
+The kernel is deliberately independent of any networking or SPMD semantics;
+those live in the layers above.
+"""
+
+from repro.sim.clock import CycleClock
+from repro.sim.errors import DeadlockError, SimulationError, PEFailure
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import pe_rng, spawn_rngs
+from repro.sim.scheduler import CoopScheduler, PEState
+
+__all__ = [
+    "CycleClock",
+    "CoopScheduler",
+    "DeadlockError",
+    "Event",
+    "EventQueue",
+    "PEFailure",
+    "PEState",
+    "SimulationError",
+    "pe_rng",
+    "spawn_rngs",
+]

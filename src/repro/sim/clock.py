@@ -1,0 +1,59 @@
+"""Virtual per-PE cycle clocks.
+
+Every simulated PE owns a :class:`CycleClock`; it is the simulated
+equivalent of the x86 ``rdtsc`` time-stamp counter that ActorProf's overall
+profiling reads.  Clocks only move forward.  All simulated costs — compute
+instructions, memcpys, network transfers, waiting — are expressed in cycles
+and applied through :meth:`CycleClock.advance` / :meth:`CycleClock.advance_to`.
+"""
+
+from __future__ import annotations
+
+
+class CycleClock:
+    """A monotonically non-decreasing virtual cycle counter.
+
+    Parameters
+    ----------
+    start:
+        Initial cycle count.  Defaults to 0.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start negative: {start}")
+        self._now = int(start)
+
+    @property
+    def now(self) -> int:
+        """Current cycle count (the simulated ``rdtsc()`` value)."""
+        return self._now
+
+    def rdtsc(self) -> int:
+        """Alias for :attr:`now`, mirroring the paper's use of ``rdtsc``."""
+        return self._now
+
+    def advance(self, cycles: int) -> int:
+        """Move the clock forward by ``cycles`` (must be >= 0).
+
+        Returns the new time.
+        """
+        if cycles < 0:
+            raise ValueError(f"cannot advance clock by negative cycles: {cycles}")
+        self._now += int(cycles)
+        return self._now
+
+    def advance_to(self, t: int) -> int:
+        """Move the clock forward to absolute time ``t`` if ``t`` is ahead.
+
+        A ``t`` in the past is a no-op (clocks never rewind).  Returns the
+        new time.
+        """
+        if t > self._now:
+            self._now = int(t)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CycleClock(now={self._now})"

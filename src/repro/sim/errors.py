@@ -1,0 +1,30 @@
+"""Exception types raised by the simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """Base class for all simulation-kernel failures."""
+
+
+class DeadlockError(SimulationError):
+    """All PEs are blocked and no future event can unblock any of them.
+
+    Raised by the scheduler when every PE thread is waiting on a predicate
+    that is false, there are no timed wakeups, and the event queue is empty.
+    The message includes a per-PE description of what each PE was waiting
+    for, which is usually enough to diagnose a missing ``done()`` call or an
+    unbalanced collective.
+    """
+
+
+class PEFailure(SimulationError):
+    """An exception escaped a PE's program.
+
+    The original exception is available as ``__cause__`` and the failing
+    rank as :attr:`rank`.
+    """
+
+    def __init__(self, rank: int, message: str) -> None:
+        super().__init__(f"PE {rank} failed: {message}")
+        self.rank = rank

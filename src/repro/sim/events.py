@@ -1,0 +1,75 @@
+"""A timed event queue for the simulation kernel.
+
+Events carry a callback plus an absolute virtual time.  The scheduler drains
+due events when no PE is runnable; layers above (the network model, the
+conveyor delivery path) use it to make data appear at its arrival time.
+
+Ordering is deterministic: events fire in (time, sequence-number) order,
+where the sequence number is assigned at scheduling time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute virtual cycle at which the event fires.
+    seq:
+        Tie-breaking sequence number (scheduling order).
+    action:
+        Zero-argument callable executed when the event fires.
+    """
+
+    time: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` ordered by (time, seq)."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time: int, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` to run at virtual ``time``.
+
+        Returns the :class:`Event`, which can be used for identity checks.
+        """
+        if time < 0:
+            raise ValueError(f"cannot schedule event in negative time: {time}")
+        ev = Event(time=int(time), seq=next(self._counter), action=action)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def next_time(self) -> int | None:
+        """Virtual time of the earliest pending event, or None if empty."""
+        return self._heap[0].time if self._heap else None
+
+    def pop_next(self) -> Event | None:
+        """Remove and return the earliest event, or None if empty."""
+        return heapq.heappop(self._heap) if self._heap else None
+
+    def pop_due(self, now: int) -> list[Event]:
+        """Remove and return every event with ``time <= now``, in order."""
+        due: list[Event] = []
+        while self._heap and self._heap[0].time <= now:
+            due.append(heapq.heappop(self._heap))
+        return due
+
+    def clear(self) -> None:
+        self._heap.clear()

@@ -1,0 +1,371 @@
+"""Deterministic cooperative scheduler for simulated PEs.
+
+Each simulated PE runs in its own Python thread, but **exactly one thread
+executes at a time**: control is passed baton-style at explicit scheduling
+points (``yield_pe`` / ``block`` / PE completion).  This gives SPMD layer
+code the luxury of writing straight-line blocking operations (barriers,
+conveyor advances, finish scopes) while keeping execution fully
+deterministic.
+
+Scheduling rule
+---------------
+At every handoff the scheduler picks, among
+
+* RUNNABLE PEs (key = their virtual clock),
+* BLOCKED PEs whose wait predicate is already true (key = their clock),
+* BLOCKED PEs with a timed wakeup (key = max(clock, wakeup)),
+* pending events in the :class:`~repro.sim.events.EventQueue`,
+
+the candidate with the smallest (time, rank) key.  Firing an event runs its
+action inline (actions are plain data mutations — typically a message
+delivery — and may make predicates true).  If nothing is runnable, no
+predicate holds, no timed wakeups exist and the event queue is empty while
+some PE is still blocked, a :class:`~repro.sim.errors.DeadlockError` is
+raised with a per-PE wait report.
+
+Virtual time
+------------
+Every PE owns a :class:`~repro.sim.clock.CycleClock`.  Picking the
+minimum-clock candidate approximates parallel execution: a PE that has done
+little simulated work runs before one that is far ahead.  Message
+visibility is enforced by the layers above (items carry arrival
+timestamps), so the global ordering here only needs to be *fair*, not
+strictly conservative.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import traceback
+from typing import Callable, Sequence
+
+from repro.sim.clock import CycleClock
+from repro.sim.errors import DeadlockError, PEFailure, SimulationError
+from repro.sim.events import EventQueue
+
+
+class PEState(enum.Enum):
+    """Lifecycle of a simulated PE within the scheduler."""
+
+    NEW = "new"
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class _Abort(BaseException):
+    """Internal: unwinds a PE thread when the simulation is torn down."""
+
+
+_MAIN = -1  # sentinel "rank" for the coordinating main thread
+
+
+class _PERecord:
+    __slots__ = (
+        "rank",
+        "state",
+        "wake",
+        "predicate",
+        "wakeup_time",
+        "reason",
+        "thread",
+    )
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self.state = PEState.NEW
+        self.wake = threading.Event()
+        self.predicate: Callable[[], bool] | None = None
+        self.wakeup_time: int | None = None
+        self.reason = ""
+        self.thread: threading.Thread | None = None
+
+
+class CoopScheduler:
+    """Runs ``n_pes`` copies of an SPMD entry point cooperatively.
+
+    Parameters
+    ----------
+    n_pes:
+        Number of simulated processing elements.
+
+    Notes
+    -----
+    The scheduler is single-use: construct one per simulation run.
+    """
+
+    def __init__(self, n_pes: int) -> None:
+        if n_pes <= 0:
+            raise ValueError(f"need at least one PE, got {n_pes}")
+        self.n_pes = n_pes
+        self.clocks: list[CycleClock] = [CycleClock() for _ in range(n_pes)]
+        self.events = EventQueue()
+        self._pes = [_PERecord(r) for r in range(n_pes)]
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        self._failure: PEFailure | None = None
+        self._aborting = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Public API used by layer code running *inside* PE threads
+    # ------------------------------------------------------------------
+
+    def now(self, rank: int) -> int:
+        """Current virtual time of PE ``rank``."""
+        return self.clocks[rank].now
+
+    def yield_pe(self, rank: int) -> None:
+        """Offer the baton to any PE that is further behind in virtual time.
+
+        Returns immediately (without a thread handoff) when the caller is
+        still the minimum-time candidate.
+        """
+        with self._lock:
+            self._check_abort()
+            rec = self._pes[rank]
+            rec.state = PEState.RUNNABLE
+            nxt = self._select_locked()
+            if nxt is rec:
+                rec.state = PEState.RUNNING
+                return
+            self._wake_locked(nxt)
+        self._sleep(rank)
+
+    def block(
+        self,
+        rank: int,
+        predicate: Callable[[], bool] | None = None,
+        wakeup_time: int | None = None,
+        reason: str = "",
+    ) -> None:
+        """Suspend PE ``rank`` until ``predicate()`` holds or ``wakeup_time``.
+
+        At least one of ``predicate`` / ``wakeup_time`` must be given —
+        blocking with neither can never end and is rejected eagerly.  When
+        resumed because of the timed wakeup, the PE's clock has been
+        advanced to ``wakeup_time``; when resumed because the predicate
+        turned true, the clock is unchanged (the unblocking layer is
+        responsible for arrival-time accounting).
+        """
+        if predicate is None and wakeup_time is None:
+            raise SimulationError(
+                f"PE {rank} tried to block forever ({reason or 'no reason given'})"
+            )
+        with self._lock:
+            self._check_abort()
+            rec = self._pes[rank]
+            rec.state = PEState.BLOCKED
+            rec.predicate = predicate
+            rec.wakeup_time = wakeup_time
+            rec.reason = reason
+            nxt = self._select_locked()
+            if nxt is rec:
+                self._resume_locked(rec)
+                return
+            self._wake_locked(nxt)
+        self._sleep(rank)
+
+    def wait_until(
+        self,
+        rank: int,
+        predicate: Callable[[], bool],
+        wakeup_fn: Callable[[], int | None] | None = None,
+        reason: str = "",
+    ) -> None:
+        """Block repeatedly until ``predicate`` is true.
+
+        ``wakeup_fn``, when given, supplies a timed fallback wakeup for each
+        blocking round (e.g. the arrival time of the earliest in-flight
+        message).
+        """
+        while not predicate():
+            wk = wakeup_fn() if wakeup_fn is not None else None
+            self.block(rank, predicate=predicate, wakeup_time=wk, reason=reason)
+
+    def post(self, time: int, action: Callable[[], None]) -> None:
+        """Schedule ``action`` to fire at virtual ``time``.
+
+        Actions run inline during scheduling, under the scheduler lock:
+        they must be quick, non-blocking data mutations.
+        """
+        with self._lock:
+            self.events.schedule(time, action)
+
+    # ------------------------------------------------------------------
+    # Running the simulation
+    # ------------------------------------------------------------------
+
+    def run(self, entry: Callable[[int], None]) -> None:
+        """Execute ``entry(rank)`` once per PE to completion.
+
+        Raises :class:`PEFailure` if any PE's program raised, and
+        :class:`DeadlockError` if the simulation wedged.
+        """
+        if self._started:
+            raise SimulationError("CoopScheduler.run may only be called once")
+        self._started = True
+        for rec in self._pes:
+            rec.state = PEState.RUNNABLE
+            rec.thread = threading.Thread(
+                target=self._pe_main,
+                args=(rec.rank, entry),
+                name=f"sim-pe-{rec.rank}",
+                daemon=True,
+            )
+        for rec in self._pes:
+            assert rec.thread is not None
+            rec.thread.start()
+        # Hand the baton to the first PE.
+        with self._lock:
+            try:
+                nxt = self._select_locked()
+            except SimulationError as exc:  # pragma: no cover - defensive
+                self._fail_locked(_MAIN, exc)
+                nxt = None
+            if nxt is not None:
+                self._wake_locked(nxt)
+        self._done.wait()
+        for rec in self._pes:
+            assert rec.thread is not None
+            rec.thread.join(timeout=30.0)
+        if self._failure is not None:
+            raise self._failure
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _pe_main(self, rank: int, entry: Callable[[int], None]) -> None:
+        rec = self._pes[rank]
+        try:
+            self._sleep(rank)  # wait until the baton first reaches us
+            entry(rank)
+        except _Abort:
+            return
+        except BaseException as exc:  # noqa: BLE001 - report any PE failure
+            with self._lock:
+                self._fail_locked(rank, exc)
+            return
+        # Normal completion: mark done and pass the baton on.
+        with self._lock:
+            rec.state = PEState.DONE
+            if self._aborting:
+                return
+            try:
+                nxt = self._select_locked()
+            except SimulationError as exc:
+                self._fail_locked(rank, exc)
+                return
+            if nxt is not None:
+                self._wake_locked(nxt)
+
+    def _sleep(self, rank: int) -> None:
+        rec = self._pes[rank]
+        rec.wake.wait()
+        rec.wake.clear()
+        if self._aborting and rec.state is not PEState.RUNNING:
+            raise _Abort()
+
+    def _check_abort(self) -> None:
+        if self._aborting:
+            raise _Abort()
+
+    def _wake_locked(self, rec: _PERecord) -> None:
+        self._resume_locked(rec)
+        rec.wake.set()
+
+    def _resume_locked(self, rec: _PERecord) -> None:
+        """Transition a selected PE to RUNNING, applying timed-wakeup time."""
+        if rec.state is PEState.BLOCKED and rec.wakeup_time is not None:
+            pred_ok = rec.predicate is not None and self._safe_pred(rec)
+            if not pred_ok:
+                self.clocks[rec.rank].advance_to(rec.wakeup_time)
+        rec.state = PEState.RUNNING
+        rec.predicate = None
+        rec.wakeup_time = None
+        rec.reason = ""
+
+    def _safe_pred(self, rec: _PERecord) -> bool:
+        assert rec.predicate is not None
+        return bool(rec.predicate())
+
+    def _select_locked(self) -> _PERecord | None:
+        """Pick the next PE to run; fire due events as needed.
+
+        Returns None when every PE is DONE (simulation complete — the done
+        event is signalled).  Raises :class:`DeadlockError` when blocked
+        PEs remain but nothing can make progress.
+        """
+        while True:
+            best: _PERecord | None = None
+            best_key: tuple[int, int] | None = None
+            any_blocked = False
+            for rec in self._pes:
+                if rec.state is PEState.RUNNABLE:
+                    key = (self.clocks[rec.rank].now, rec.rank)
+                elif rec.state is PEState.BLOCKED:
+                    any_blocked = True
+                    if rec.predicate is not None and self._safe_pred(rec):
+                        key = (self.clocks[rec.rank].now, rec.rank)
+                    elif rec.wakeup_time is not None:
+                        key = (
+                            max(self.clocks[rec.rank].now, rec.wakeup_time),
+                            rec.rank,
+                        )
+                    else:
+                        continue
+                else:
+                    continue
+                if best_key is None or key < best_key:
+                    best, best_key = rec, key
+            ev_time = self.events.next_time()
+            if ev_time is not None and (best_key is None or ev_time < best_key[0]):
+                ev = self.events.pop_next()
+                assert ev is not None
+                ev.action()
+                continue  # re-evaluate: the action may have changed the world
+            if best is not None:
+                return best
+            if any_blocked:
+                raise DeadlockError(self._deadlock_report_locked())
+            # No runnable, no blocked, no events: everything is DONE/FAILED.
+            self._done.set()
+            return None
+
+    def _deadlock_report_locked(self) -> str:
+        lines = ["simulation deadlocked; per-PE wait state:"]
+        for rec in self._pes:
+            if rec.state is PEState.BLOCKED:
+                lines.append(
+                    f"  PE {rec.rank}: blocked at cycle "
+                    f"{self.clocks[rec.rank].now} ({rec.reason or 'no reason'})"
+                )
+            else:
+                lines.append(f"  PE {rec.rank}: {rec.state.value}")
+        return "\n".join(lines)
+
+    def _fail_locked(self, rank: int, exc: BaseException) -> None:
+        if self._failure is None:
+            tb = "".join(
+                traceback.format_exception(type(exc), exc, exc.__traceback__)
+            )
+            failure = PEFailure(max(rank, 0), f"{exc!r}\n{tb}")
+            failure.__cause__ = exc
+            self._failure = failure
+        self._aborting = True
+        if 0 <= rank < self.n_pes:
+            self._pes[rank].state = PEState.FAILED
+        for rec in self._pes:
+            if rec.state not in (PEState.DONE, PEState.FAILED):
+                rec.wake.set()
+        self._done.set()
+
+    # Debug helpers -----------------------------------------------------
+
+    def states(self) -> Sequence[PEState]:
+        """Snapshot of every PE's lifecycle state (for tests/diagnostics)."""
+        return [rec.state for rec in self._pes]

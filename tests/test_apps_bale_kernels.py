@@ -1,0 +1,121 @@
+"""Tests for the transpose and toposort bale kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.toposort import make_toposort_input, toposort
+from repro.apps.transpose import transpose
+from repro.machine import MachineSpec
+
+MACHINES = [MachineSpec(1, 4), MachineSpec(2, 4)]
+
+
+# ------------------------------------------------------------ transpose
+
+
+@pytest.mark.parametrize("machine", MACHINES)
+def test_transpose_matches_scipy(machine):
+    rng = np.random.default_rng(3)
+    entries = np.unique(rng.integers(0, 40, (200, 2)), axis=0)
+    res = transpose(entries, 40, 40, machine)
+    assert len(res.entries) == len(entries)
+    # entry-level check: (r, c) ↔ (c, r)
+    fwd = set(map(tuple, entries.tolist()))
+    back = set(map(tuple, res.entries[:, [1, 0]].tolist()))
+    assert fwd == back
+
+
+def test_transpose_rectangular():
+    rng = np.random.default_rng(1)
+    entries = np.unique(
+        np.stack([rng.integers(0, 10, 50), rng.integers(0, 25, 50)], axis=1),
+        axis=0,
+    )
+    res = transpose(entries, 10, 25, MachineSpec(1, 4))
+    assert res.entries[:, 0].max() < 25
+
+
+def test_transpose_empty_matrix():
+    res = transpose(np.empty((0, 2), dtype=np.int64), 5, 5, MachineSpec(1, 2))
+    assert res.entries.shape == (0, 2)
+
+
+def test_transpose_scalar_equals_batch():
+    rng = np.random.default_rng(9)
+    entries = np.unique(rng.integers(0, 20, (80, 2)), axis=0)
+    m = MachineSpec(2, 2)
+    a = transpose(entries, 20, 20, m, batch=True)
+    b = transpose(entries, 20, 20, m, batch=False)
+    assert np.array_equal(a.entries, b.entries)
+
+
+def test_transpose_validation_errors():
+    with pytest.raises(ValueError):
+        transpose(np.zeros((3, 3)), 5, 5, MachineSpec(1, 2))
+    with pytest.raises(ValueError):
+        transpose(np.array([[6, 0]]), 5, 5, MachineSpec(1, 2))
+
+
+# ------------------------------------------------------------- toposort
+
+
+def test_make_toposort_input_shape():
+    ent = make_toposort_input(30, extra_per_row=2, seed=0)
+    # at least the n diagonal images are present
+    assert len(ent) >= 30
+    assert len(np.unique(ent, axis=0)) == len(ent)
+    assert ent.min() >= 0 and ent.max() < 30
+    with pytest.raises(ValueError):
+        make_toposort_input(0)
+
+
+def test_make_toposort_input_reproducible():
+    a = make_toposort_input(20, seed=4)
+    b = make_toposort_input(20, seed=4)
+    assert np.array_equal(a, b)
+    c = make_toposort_input(20, seed=5)
+    assert not np.array_equal(a, c)
+
+
+@pytest.mark.parametrize("machine", MACHINES)
+def test_toposort_recovers_triangular_form(machine):
+    ent = make_toposort_input(32, extra_per_row=3, seed=2)
+    res = toposort(ent, 32, machine)  # validates internally
+    # double check here too: permutations + above-diagonal placement
+    assert sorted(res.row_perm.tolist()) == list(range(32))
+    assert sorted(res.col_perm.tolist()) == list(range(32))
+    rp = res.row_perm[ent[:, 0]]
+    cp = res.col_perm[ent[:, 1]]
+    assert (rp <= cp).all()
+
+
+def test_toposort_identity_matrix():
+    n = 8
+    ent = np.stack([np.arange(n), np.arange(n)], axis=1)
+    res = toposort(ent, n, MachineSpec(1, 4))
+    # diagonal-only: each row pairs with its own column
+    assert np.array_equal(res.row_perm, res.col_perm)
+
+
+def test_toposort_unsortable_input_detected():
+    # a 2-cycle: rows 0 and 1 each have two entries, no degree-1 pivot
+    ent = np.array([[0, 0], [0, 1], [1, 0], [1, 1]])
+    with pytest.raises(AssertionError):
+        toposort(ent, 2, MachineSpec(1, 2))
+
+
+def test_toposort_validation_errors():
+    with pytest.raises(ValueError):
+        toposort(np.zeros((2, 3)), 4, MachineSpec(1, 2))
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(4, 48), st.integers(0, 4), st.integers(0, 100))
+def test_toposort_property(n, extra, seed):
+    ent = make_toposort_input(n, extra_per_row=extra, seed=seed)
+    res = toposort(ent, n, MachineSpec(1, 4))
+    rp = res.row_perm[ent[:, 0]]
+    cp = res.col_perm[ent[:, 1]]
+    assert (rp <= cp).all()

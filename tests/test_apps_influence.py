@@ -1,0 +1,96 @@
+"""Tests for the influence-spread application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.influence import (
+    _hash01,
+    influence_spread,
+    reference_spread,
+    select_seeds,
+)
+from repro.graphs import LowerTriangular, graph500_input
+from repro.machine import MachineSpec
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return LowerTriangular.from_edges(graph500_input(7, edge_factor=8, seed=1))
+
+
+def test_hash01_deterministic_and_symmetric():
+    assert _hash01(3, 7, 0, 0) == _hash01(7, 3, 0, 0)
+    assert _hash01(3, 7, 0, 0) != _hash01(3, 7, 1, 0)
+    assert _hash01(3, 7, 0, 0) != _hash01(3, 7, 0, 1)
+    vals = [_hash01(i, i + 1, 0, 0) for i in range(1000)]
+    assert all(0 <= v < 1 for v in vals)
+    # roughly uniform
+    assert 0.4 < float(np.mean(vals)) < 0.6
+
+
+@pytest.mark.parametrize("machine", [MachineSpec(1, 4), MachineSpec(2, 4)])
+def test_distributed_matches_serial(graph, machine):
+    res = influence_spread(graph, [0, 3], rounds=3, machine=machine, p=0.08)
+    expected = reference_spread(graph, [0, 3], 3, 0.08)
+    assert np.array_equal(res.per_round, expected)
+    assert res.spread == pytest.approx(expected.mean())
+
+
+def test_distribution_does_not_change_cascades(graph):
+    m = MachineSpec(1, 8)
+    a = influence_spread(graph, [1], rounds=2, machine=m, p=0.1,
+                         distribution="cyclic")
+    b = influence_spread(graph, [1], rounds=2, machine=m, p=0.1,
+                         distribution="range")
+    assert np.array_equal(a.per_round, b.per_round)
+
+
+def test_p_zero_only_activates_seeds(graph):
+    res = influence_spread(graph, [0, 1, 2], rounds=2,
+                           machine=MachineSpec(1, 2), p=0.0)
+    assert res.per_round.tolist() == [3, 3]
+
+
+def test_p_one_reaches_component(graph):
+    """p=1 activates the source's whole connected component."""
+    from repro.apps.bfs import reference_bfs
+
+    res = influence_spread(graph, [0], rounds=1, machine=MachineSpec(1, 4), p=1.0)
+    component = int((reference_bfs(graph, 0) >= 0).sum())
+    assert res.per_round[0] == component
+
+
+def test_more_seeds_never_reduce_spread(graph):
+    m = MachineSpec(1, 4)
+    one = influence_spread(graph, [0], rounds=2, machine=m, p=0.1)
+    two = influence_spread(graph, [0, 9], rounds=2, machine=m, p=0.1)
+    assert (two.per_round >= one.per_round).all()
+
+
+def test_salt_changes_cascades(graph):
+    m = MachineSpec(1, 4)
+    a = influence_spread(graph, [0], rounds=1, machine=m, p=0.1, salt=0)
+    b = influence_spread(graph, [0], rounds=1, machine=m, p=0.1, salt=1)
+    assert not np.array_equal(a.per_round, b.per_round)
+
+
+def test_argument_validation(graph):
+    m = MachineSpec(1, 2)
+    with pytest.raises(ValueError):
+        influence_spread(graph, [0], rounds=0, machine=m)
+    with pytest.raises(ValueError):
+        influence_spread(graph, [0], rounds=1, machine=m, p=1.5)
+    with pytest.raises(ValueError):
+        influence_spread(graph, [graph.n_vertices], rounds=1, machine=m)
+    with pytest.raises(ValueError):
+        select_seeds(graph, 0, 1, m)
+
+
+def test_greedy_selection_improves_over_first_pick(graph):
+    m = MachineSpec(1, 4)
+    seeds, spread = select_seeds(graph, 2, rounds=2, machine=m, p=0.05,
+                                 candidates=[0, 1, 8])
+    assert len(seeds) == 2
+    assert len(set(seeds)) == 2
+    single = influence_spread(graph, seeds[:1], rounds=2, machine=m, p=0.05)
+    assert spread >= single.spread

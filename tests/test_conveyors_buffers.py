@@ -1,0 +1,90 @@
+"""Unit tests for conveyor buffer machinery."""
+
+import numpy as np
+import pytest
+
+from repro.conveyors.buffers import (
+    COL_DST,
+    COL_SRC,
+    HEADER_WORDS,
+    ConveyorStats,
+    OutBuffer,
+    ReadyQueue,
+)
+
+
+def test_outbuffer_append_and_fill():
+    buf = OutBuffer(hop=3, capacity=4, width=3)
+    assert buf.empty and not buf.full
+    buf.append(final_dst=7, src=1, payload=(42,))
+    assert buf.count == 1
+    assert buf.space == 3
+    for i in range(3):
+        buf.append(7, 1, (i,))
+    assert buf.full
+
+
+def test_outbuffer_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        OutBuffer(0, 0, 3)
+
+
+def test_outbuffer_take_detaches():
+    buf = OutBuffer(0, 4, 3)
+    buf.append(5, 2, (99,))
+    rows = buf.take()
+    assert rows.shape == (1, 3)
+    assert rows[0, COL_DST] == 5
+    assert rows[0, COL_SRC] == 2
+    assert rows[0, HEADER_WORDS] == 99
+    assert buf.empty
+    # mutating the buffer after take must not corrupt taken rows
+    buf.append(1, 1, (1,))
+    assert rows[0, HEADER_WORDS] == 99
+
+
+def test_outbuffer_append_rows_block():
+    buf = OutBuffer(0, 10, 4)
+    block = np.arange(12, dtype=np.int64).reshape(3, 4)
+    buf.append_rows(block)
+    assert buf.count == 3
+    assert np.array_equal(buf.take(), block)
+
+
+def test_readyqueue_fifo_across_segments():
+    q = ReadyQueue()
+    assert q.empty
+    q.put(np.array([[1, 0, 10], [2, 0, 20]], dtype=np.int64))
+    q.put(np.array([[3, 0, 30]], dtype=np.int64))
+    assert len(q) == 3
+    vals = [int(q.pop()[2]) for _ in range(3)]
+    assert vals == [10, 20, 30]
+    assert q.pop() is None
+    assert q.empty
+
+
+def test_readyqueue_put_empty_is_noop():
+    q = ReadyQueue()
+    q.put(np.empty((0, 3), dtype=np.int64))
+    assert q.empty
+
+
+def test_readyqueue_take_all_respects_cursor():
+    q = ReadyQueue()
+    q.put(np.array([[1, 0, 10], [2, 0, 20], [3, 0, 30]], dtype=np.int64))
+    q.put(np.array([[4, 0, 40]], dtype=np.int64))
+    q.pop()  # consume the first item
+    segs = q.take_all()
+    flat = np.concatenate(segs)
+    assert [int(r[2]) for r in flat] == [20, 30, 40]
+    assert q.empty
+    assert q.take_all() == []
+
+
+def test_stats_note_send_accumulates():
+    st = ConveyorStats()
+    st.note_send("local_send", 100)
+    st.note_send("local_send", 50)
+    st.note_send("nonblock_send", 10)
+    assert st.buffers_sent == {"local_send": 2, "nonblock_send": 1}
+    assert st.bytes_sent == {"local_send": 150, "nonblock_send": 10}

@@ -1,0 +1,139 @@
+"""Unit tests for conveyor routing topologies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.conveyors import CubeTopology, LinearTopology, MeshTopology, make_topology
+from repro.machine import MachineSpec
+
+
+def test_linear_is_single_hop():
+    topo = LinearTopology(MachineSpec(2, 4))
+    assert topo.route(0, 7) == [7]
+    assert topo.route(3, 2) == [2]
+
+
+def test_linear_at_destination_rejected():
+    topo = LinearTopology(MachineSpec(1, 4))
+    with pytest.raises(ValueError):
+        topo.next_hop(2, 2)
+
+
+def test_mesh_same_node_is_one_local_hop():
+    spec = MachineSpec(2, 4)
+    topo = MeshTopology(spec)
+    # 0 → 2: same node, row hop only
+    assert topo.route(0, 2) == [2]
+
+
+def test_mesh_same_column_is_one_remote_hop():
+    spec = MachineSpec(2, 4)
+    topo = MeshTopology(spec)
+    # 1 → 5: same local index on the other node: column hop only
+    assert topo.route(1, 5) == [5]
+
+
+def test_mesh_general_is_row_then_column():
+    spec = MachineSpec(2, 4)
+    topo = MeshTopology(spec)
+    # 0 → 6: row hop to PE 2 (node 0, local 2), then column hop to PE 6
+    assert topo.route(0, 6) == [2, 6]
+
+
+def test_mesh_row_hop_is_intra_node_column_hop_is_inter_node():
+    """The invariant behind the paper's physical heatmaps (Fig. 9)."""
+    spec = MachineSpec(2, 16)
+    topo = MeshTopology(spec)
+    for src in range(spec.n_pes):
+        for dst in range(spec.n_pes):
+            if src == dst:
+                continue
+            cur = src
+            for hop in topo.route(src, dst):
+                if spec.same_node(cur, hop):
+                    # row hop: target shares the destination's column
+                    assert spec.local_index(hop) == spec.local_index(dst)
+                else:
+                    # column hop: stays in the same column
+                    assert spec.local_index(cur) == spec.local_index(hop)
+                cur = hop
+            assert cur == dst
+
+
+def test_mesh_routes_have_at_most_two_hops():
+    spec = MachineSpec(4, 8)
+    topo = MeshTopology(spec)
+    for src in range(0, spec.n_pes, 3):
+        for dst in range(spec.n_pes):
+            if src != dst:
+                assert len(topo.route(src, dst)) <= 2
+
+
+def test_cube_default_factorization():
+    topo = CubeTopology(MachineSpec(2, 16))
+    assert topo.a_dim * topo.b_dim == 16
+    assert topo.a_dim == 4
+
+
+def test_cube_bad_a_dim_rejected():
+    with pytest.raises(ValueError):
+        CubeTopology(MachineSpec(2, 16), a_dim=5)
+
+
+def test_cube_routes_terminate_with_at_most_three_hops():
+    spec = MachineSpec(2, 16)
+    topo = CubeTopology(spec)
+    for src in range(spec.n_pes):
+        for dst in range(spec.n_pes):
+            if src != dst:
+                route = topo.route(src, dst)
+                assert 1 <= len(route) <= 3
+                assert route[-1] == dst
+
+
+def test_cube_inter_node_hop_is_last():
+    spec = MachineSpec(2, 16)
+    topo = CubeTopology(spec)
+    for src in range(spec.n_pes):
+        for dst in range(spec.n_pes):
+            if src == dst:
+                continue
+            cur = src
+            seen_remote = False
+            for hop in topo.route(src, dst):
+                if not spec.same_node(cur, hop):
+                    assert not seen_remote
+                    seen_remote = True
+                else:
+                    assert not seen_remote  # local hops precede the remote hop
+                cur = hop
+
+
+def test_make_topology_auto_matches_paper():
+    # "Conveyors for one node follow 1D Linear topology, and for two nodes
+    # follow 2D Mesh topology"
+    assert make_topology("auto", MachineSpec(1, 16)).name == "linear"
+    assert make_topology("auto", MachineSpec(2, 16)).name == "mesh"
+
+
+def test_make_topology_explicit_and_unknown():
+    spec = MachineSpec(2, 4)
+    assert make_topology("linear", spec).name == "linear"
+    assert make_topology("mesh", spec).name == "mesh"
+    assert make_topology("cube", spec).name == "cube"
+    with pytest.raises(ValueError):
+        make_topology("torus", spec)
+
+
+@given(st.integers(1, 4), st.integers(1, 16), st.data())
+def test_all_topologies_route_all_pairs(nodes, ppn, data):
+    spec = MachineSpec(nodes, ppn)
+    for name in ("linear", "mesh"):
+        topo = make_topology(name, spec)
+        src = data.draw(st.integers(0, spec.n_pes - 1))
+        dst = data.draw(st.integers(0, spec.n_pes - 1))
+        if src != dst:
+            route = topo.route(src, dst)
+            assert route[-1] == dst
+            assert len(set(route)) == len(route)  # no revisits

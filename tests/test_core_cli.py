@@ -1,0 +1,219 @@
+"""Tests for the ``actorprof`` CLI."""
+
+import numpy as np
+import pytest
+
+from repro.core import ActorProf, ProfileFlags
+from repro.core.cli import main
+from repro.hclib import Actor, run_spmd
+from repro.machine import MachineSpec
+
+
+@pytest.fixture(scope="module")
+def trace_dir(tmp_path_factory):
+    """One profiled run whose traces feed every CLI test."""
+    path = tmp_path_factory.mktemp("traces")
+    ap = ActorProf(ProfileFlags.all())
+
+    class A(Actor):
+        def __init__(self, ctx, arr):
+            super().__init__(ctx)
+            self.arr = arr
+
+        def process(self, idx, sender):
+            self.arr[idx] += 1
+
+    def program(ctx):
+        arr = np.zeros(8, dtype=np.int64)
+        a = A(ctx, arr)
+        with ctx.finish():
+            a.start()
+            for i in range(30):
+                a.send(int(ctx.rng.integers(0, 8)),
+                       int(ctx.rng.integers(0, ctx.n_pes)))
+            a.done()
+        return int(arr.sum())
+
+    run_spmd(program, machine=MachineSpec(2, 4), profiler=ap, seed=4)
+    ap.write_traces(path)
+    return path
+
+
+def test_logical_flag(trace_dir, tmp_path, capsys):
+    rc = main([str(trace_dir), "--num-pes", "8", "-l", "--out", str(tmp_path)])
+    assert rc == 0
+    assert (tmp_path / "logical_heatmap.svg").exists()
+    out = capsys.readouterr().out
+    assert "Logical trace" in out
+    assert "total messages: 240" in out
+
+
+def test_physical_flag(trace_dir, tmp_path, capsys):
+    rc = main([str(trace_dir), "--num-pes", "8", "-p", "--out", str(tmp_path)])
+    assert rc == 0
+    assert (tmp_path / "physical_heatmap.svg").exists()
+    assert (tmp_path / "physical_heatmap_local_send.svg").exists()
+    out = capsys.readouterr().out
+    assert "local_send" in out and "nonblock_send" in out
+
+
+def test_overall_flag(trace_dir, tmp_path, capsys):
+    rc = main([str(trace_dir), "--num-pes", "8", "-s", "--out", str(tmp_path)])
+    assert rc == 0
+    assert (tmp_path / "overall_absolute.svg").exists()
+    assert (tmp_path / "overall_relative.svg").exists()
+    assert "mean fractions" in capsys.readouterr().out
+
+
+def test_papi_flag(trace_dir, tmp_path, capsys):
+    rc = main([str(trace_dir), "--num-pes", "8", "-lp", "--out", str(tmp_path)])
+    assert rc == 0
+    assert (tmp_path / "papi_bars.svg").exists()
+    assert "PAPI_TOT_INS" in capsys.readouterr().out
+
+
+def test_violin_option(trace_dir, tmp_path):
+    rc = main([str(trace_dir), "--num-pes", "8", "-l", "-p", "--violin",
+               "--out", str(tmp_path), "--quiet"])
+    assert rc == 0
+    assert (tmp_path / "logical_violin.svg").exists()
+    assert (tmp_path / "physical_violin.svg").exists()
+
+
+def test_all_flags_together(trace_dir, tmp_path, capsys):
+    rc = main([str(trace_dir), "--num-pes", "8", "-l", "-lp", "-s", "-p",
+               "--out", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "wrote:" in out
+
+
+def test_quiet_suppresses_reports(trace_dir, tmp_path, capsys):
+    rc = main([str(trace_dir), "--num-pes", "8", "-l", "--quiet",
+               "--out", str(tmp_path)])
+    assert rc == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_no_flags_is_an_error(trace_dir, capsys):
+    rc = main([str(trace_dir), "--num-pes", "8"])
+    assert rc == 2
+    assert "nothing to do" in capsys.readouterr().err
+
+
+def test_missing_dir_is_an_error(tmp_path, capsys):
+    rc = main([str(tmp_path / "nope"), "--num-pes", "8", "-l"])
+    assert rc == 2
+
+
+def test_timeline_flag(tmp_path):
+    """-t renders timeline + utilization charts from trace.json."""
+    import numpy as np
+
+    from repro.core import ActorProf, ProfileFlags
+    from repro.hclib import Actor, run_spmd
+    from repro.machine import MachineSpec
+
+    ap = ActorProf(ProfileFlags.all(enable_timeline=True))
+
+    class A(Actor):
+        def __init__(self, ctx, arr):
+            super().__init__(ctx)
+            self.arr = arr
+
+        def process(self, idx, sender):
+            self.arr[idx] += 1
+
+    def program(ctx):
+        arr = np.zeros(4, dtype=np.int64)
+        a = A(ctx, arr)
+        with ctx.finish():
+            a.start()
+            for i in range(10):
+                a.send(i % 4, (ctx.my_pe + i) % ctx.n_pes)
+            a.done()
+        return int(arr.sum())
+
+    run_spmd(program, machine=MachineSpec(2, 2), profiler=ap, seed=1)
+    trace_dir = tmp_path / "traces"
+    ap.write_traces(trace_dir)
+    out = tmp_path / "charts"
+    rc = main([str(trace_dir), "--num-pes", "4", "-t", "--out", str(out), "--quiet"])
+    assert rc == 0
+    assert (out / "timeline.svg").exists()
+    assert (out / "utilization.svg").exists()
+
+
+def test_timeline_flag_missing_trace_json(trace_dir, capsys):
+    rc = main([str(trace_dir), "--num-pes", "8", "-t"])
+    assert rc == 2
+    assert "trace.json" in capsys.readouterr().err
+
+
+def test_chrome_roundtrip_preserves_timeline(tmp_path):
+    """timeline_from_chrome inverts write_chrome_trace (span/event counts)."""
+    from repro.core.export import timeline_from_chrome, write_chrome_trace
+    from repro.core.timeline import TimelineTrace
+    from repro.machine import MachineSpec
+
+    tl = TimelineTrace(4)
+    tl.add_span(0, "MAIN", 0, 2000)
+    tl.add_span(1, "PROC", 500, 900, mailbox=2)
+    tl.add_net_event(100, "nonblock_send", 0, 2, 512)
+    spec = MachineSpec(2, 2)
+    path = write_chrome_trace(tl, spec, tmp_path / "t.json", clock_ghz=2.0)
+    loaded, _spec2 = timeline_from_chrome(path)
+    assert loaded.span_count() == 2
+    assert len(loaded.net_events()) == 1
+    span = loaded.spans(1, "PROC")[0]
+    assert span.mailbox == 2
+    assert span.start == 500 and span.end == 900
+    ev = loaded.net_events()[0]
+    assert (ev.src, ev.dst, ev.nbytes, ev.kind) == (0, 2, 512, "nonblock_send")
+
+
+def test_query_option(trace_dir, capsys):
+    rc = main([str(trace_dir), "--num-pes", "8",
+               "--query", "logical: sends group by src top 2",
+               "--query", "physical: ops where kind == local_send"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "[logical] sends group by src top 2" in out
+    assert "[physical] ops where kind == local_send" in out
+
+
+def test_query_option_bad_target(trace_dir, capsys):
+    rc = main([str(trace_dir), "--num-pes", "8", "--query", "sends"])
+    assert rc == 2
+    assert "bad --query" in capsys.readouterr().err
+
+
+def test_query_option_bad_expr(trace_dir, capsys):
+    rc = main([str(trace_dir), "--num-pes", "8",
+               "--query", "logical: frobnicate"])
+    assert rc == 2
+    assert "query failed" in capsys.readouterr().err
+
+
+def test_console_script_entry_point(trace_dir, tmp_path):
+    """The installed `actorprof` module runs as a subprocess end to end."""
+    import subprocess
+    import sys
+
+    r = subprocess.run(
+        [sys.executable, "-m", "repro.core.cli", str(trace_dir),
+         "--num-pes", "8", "-l", "--quiet", "--out", str(tmp_path)],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert r.returncode == 0, r.stderr
+    assert (tmp_path / "logical_heatmap.svg").exists()
+
+
+def test_physical_node_hotspot_chart(trace_dir, tmp_path):
+    """-p also emits a node-level heatmap when the run used >1 node."""
+    rc = main([str(trace_dir), "--num-pes", "8", "-p", "--quiet",
+               "--out", str(tmp_path)])
+    assert rc == 0
+    assert (tmp_path / "physical_heatmap_nodes.svg").exists()
+    content = (tmp_path / "physical_heatmap_nodes.svg").read_text()
+    assert "node-level hotspots" in content

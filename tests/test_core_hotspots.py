@@ -1,0 +1,105 @@
+"""Tests for hotspot identification and the balance model."""
+
+import numpy as np
+import pytest
+
+from repro.core.hotspots import (
+    BalanceModel,
+    advise,
+    balance_model,
+    find_stragglers,
+    top_pairs,
+)
+from repro.core.logical import LogicalTrace
+from repro.core.overall import OverallProfile
+from repro.machine import MachineSpec
+
+
+def test_find_stragglers_sorted_worst_first():
+    out = find_stragglers(np.array([10, 10, 100, 50]), threshold=1.5)
+    assert [s.pe for s in out] == [2]
+    assert out[0].ratio_to_mean == pytest.approx(100 / 42.5)
+
+
+def test_find_stragglers_balanced_is_empty():
+    assert find_stragglers(np.array([5, 5, 5, 5])) == []
+    assert find_stragglers(np.array([])) == []
+    assert find_stragglers(np.zeros(4)) == []
+
+
+def test_top_pairs():
+    trace = LogicalTrace(MachineSpec(1, 3))
+    for _ in range(7):
+        trace.record(0, 1, 8)
+    for _ in range(3):
+        trace.record(2, 0, 8)
+    pairs = top_pairs(trace, 2)
+    assert (pairs[0].src, pairs[0].dst, pairs[0].messages) == (0, 1, 7)
+    assert pairs[0].share == pytest.approx(0.7)
+    assert (pairs[1].src, pairs[1].dst) == (2, 0)
+
+
+def test_top_pairs_empty_and_validation():
+    trace = LogicalTrace(MachineSpec(1, 2))
+    assert top_pairs(trace) == []
+    with pytest.raises(ValueError):
+        top_pairs(trace, 0)
+
+
+def make_profile(mains, procs, totals):
+    p = OverallProfile(len(mains))
+    for pe, (m, pr, t) in enumerate(zip(mains, procs, totals)):
+        p.add_main(pe, m)
+        p.add_proc(pe, pr)
+        p.add_total(pe, t)
+    return p
+
+
+def test_balance_model_detects_imbalance_headroom():
+    # one hot PE (1000 cycles), three idle-ish (200 cycles)
+    p = make_profile([50, 50, 50, 50], [50, 50, 50, 50],
+                     [1000, 200, 200, 200])
+    model = balance_model(p)
+    assert isinstance(model, BalanceModel)
+    assert model.t_actual == 1000
+    assert model.potential_speedup > 2
+    assert model.dominant_region == "COMM"
+
+
+def test_balance_model_balanced_run_has_no_headroom():
+    p = make_profile([100, 100], [100, 100], [300, 300])
+    model = balance_model(p)
+    assert model.potential_speedup == pytest.approx(1.0)
+
+
+def test_advise_imbalanced_sends():
+    trace = LogicalTrace(MachineSpec(1, 4))
+    for _ in range(90):
+        trace.record(0, 1, 8)
+    for pe in (1, 2, 3):
+        trace.record(pe, 0, 8)
+    tips = advise(logical=trace)
+    assert any("data distributions" in t for t in tips)
+    assert any("PE0" in t for t in tips)
+
+
+def test_advise_comm_bound():
+    p = make_profile([10, 10], [10, 10], [1000, 1000])
+    tips = advise(overall=p)
+    assert any("COMM-bound" in t for t in tips)
+
+
+def test_advise_main_and_proc_bound():
+    main_heavy = make_profile([700, 700], [10, 10], [1000, 1000])
+    assert any("MAIN dominates" in t for t in advise(overall=main_heavy))
+    proc_heavy = make_profile([10, 10], [700, 700], [1000, 1000])
+    assert any("handlers" in t for t in advise(overall=proc_heavy))
+
+
+def test_advise_nothing_to_say():
+    trace = LogicalTrace(MachineSpec(1, 2))
+    trace.record(0, 1, 8)
+    trace.record(1, 0, 8)
+    tips = advise(logical=trace)
+    assert tips == ["no obvious bottleneck: load is balanced and no single "
+                    "region dominates"]

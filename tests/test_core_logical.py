@@ -1,0 +1,89 @@
+"""Tests for the logical trace recorder and its file format."""
+
+import numpy as np
+import pytest
+
+from repro.core.logical import LogicalTrace, parse_logical_dir
+from repro.machine import MachineSpec
+
+
+def make_trace():
+    trace = LogicalTrace(MachineSpec(2, 2))
+    trace.record(0, 1, 8)
+    trace.record(0, 1, 8)
+    trace.record(0, 3, 16)
+    trace.record(2, 0, 8)
+    return trace
+
+
+def test_matrix_counts():
+    m = make_trace().matrix()
+    assert m[0, 1] == 2
+    assert m[0, 3] == 1
+    assert m[2, 0] == 1
+    assert m.sum() == 4
+
+
+def test_bytes_matrix():
+    b = make_trace().bytes_matrix()
+    assert b[0, 1] == 16
+    assert b[0, 3] == 16
+    assert b[2, 0] == 8
+
+
+def test_totals():
+    t = make_trace()
+    assert t.sends_per_pe().tolist() == [3, 0, 1, 0]
+    assert t.recvs_per_pe().tolist() == [1, 2, 0, 1]
+    assert t.total_sends() == 4
+
+
+def test_record_batch_equals_scalar():
+    spec = MachineSpec(1, 4)
+    a = LogicalTrace(spec)
+    b = LogicalTrace(spec)
+    dsts = np.array([1, 2, 1, 3, 1, 0])
+    for d in dsts:
+        a.record(0, int(d), 8)
+    b.record_batch(0, dsts, 8)
+    assert np.array_equal(a.matrix(), b.matrix())
+
+
+def test_record_batch_empty():
+    t = LogicalTrace(MachineSpec(1, 2))
+    t.record_batch(0, np.array([], dtype=np.int64), 8)
+    assert t.total_sends() == 0
+
+
+def test_write_and_parse_roundtrip(tmp_path):
+    t = make_trace()
+    paths = t.write(tmp_path)
+    assert len(paths) == 4
+    assert (tmp_path / "PE0_send.csv").exists()
+    parsed = parse_logical_dir(tmp_path, 4)
+    assert np.array_equal(parsed.matrix(), t.matrix())
+    assert np.array_equal(parsed.bytes_matrix(), t.bytes_matrix())
+    # node mapping survives the roundtrip
+    assert parsed.spec.nodes == 2
+
+
+def test_csv_format_matches_paper(tmp_path):
+    t = make_trace()
+    t.write(tmp_path)
+    lines = (tmp_path / "PE0_send.csv").read_text().strip().splitlines()
+    assert lines[0].startswith("#")
+    # "source node, source PE, destination node, destination PE, msg size"
+    assert lines[1] == "0,0,0,1,8"
+    assert lines.count("0,0,0,1,8") == 2
+    assert "0,0,1,3,16" in lines
+
+
+def test_parse_missing_file_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        parse_logical_dir(tmp_path, 2)
+
+
+def test_parse_malformed_line_raises(tmp_path):
+    (tmp_path / "PE0_send.csv").write_text("1,2,3\n")
+    with pytest.raises(ValueError):
+        parse_logical_dir(tmp_path, 1)

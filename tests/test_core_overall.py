@@ -1,0 +1,78 @@
+"""Tests for the overall T_MAIN/T_COMM/T_PROC profile."""
+
+import numpy as np
+import pytest
+
+from repro.core.overall import OverallProfile, parse_overall_file
+
+
+def make_profile():
+    p = OverallProfile(2)
+    p.add_main(0, 100)
+    p.add_proc(0, 50)
+    p.add_total(0, 1000)
+    p.add_main(1, 10)
+    p.add_proc(1, 200)
+    p.add_total(1, 500)
+    return p
+
+
+def test_comm_is_derived():
+    p = make_profile()
+    assert p.t_comm().tolist() == [850, 290]
+
+
+def test_absolute_ordering_is_main_comm_proc():
+    p = make_profile()
+    assert p.absolute(0) == (100, 850, 50)
+
+
+def test_relative_fractions():
+    p = make_profile()
+    rm, rc, rp = p.relative(0)
+    assert rm == pytest.approx(0.1)
+    assert rc == pytest.approx(0.85)
+    assert rp == pytest.approx(0.05)
+    assert rm + rc + rp == pytest.approx(1.0)
+
+
+def test_relative_zero_total():
+    p = OverallProfile(1)
+    assert p.relative(0) == (0.0, 0.0, 0.0)
+
+
+def test_fractions_matrix_shape():
+    assert make_profile().fractions().shape == (2, 3)
+
+
+def test_accumulation_across_finishes():
+    p = OverallProfile(1)
+    for _ in range(3):
+        p.add_main(0, 10)
+        p.add_total(0, 100)
+    assert p.t_main[0] == 30
+    assert p.t_total[0] == 300
+
+
+def test_file_format_matches_paper(tmp_path):
+    p = make_profile()
+    path = p.write(tmp_path)
+    text = path.read_text()
+    assert "Absolute [PE0] TCOMM_PROFILING (100, 850, 50)" in text
+    assert "Relative [PE0] TCOMM_PROFILING (0.100000, 0.850000, 0.050000)" in text
+    assert "Absolute [PE1] TCOMM_PROFILING (10, 290, 200)" in text
+
+
+def test_write_parse_roundtrip(tmp_path):
+    p = make_profile()
+    p.write(tmp_path)
+    parsed = parse_overall_file(tmp_path)
+    assert np.array_equal(parsed.t_main, p.t_main)
+    assert np.array_equal(parsed.t_proc, p.t_proc)
+    assert np.array_equal(parsed.t_total, p.t_total)
+
+
+def test_parse_empty_file_raises(tmp_path):
+    (tmp_path / "overall.txt").write_text("junk\n")
+    with pytest.raises(ValueError):
+        parse_overall_file(tmp_path)

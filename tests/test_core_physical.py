@@ -1,0 +1,73 @@
+"""Tests for the physical trace recorder and its file format."""
+
+import numpy as np
+import pytest
+
+from repro.core.physical import PhysicalTrace, parse_physical_file
+
+
+def make_trace():
+    t = PhysicalTrace(4)
+    t.record("local_send", 100, 0, 1, 10)
+    t.record("local_send", 100, 0, 1, 20)
+    t.record("nonblock_send", 200, 1, 3, 30)
+    t.record("nonblock_progress", 8, 1, 3, 40)
+    return t
+
+
+def test_unknown_send_type_rejected():
+    t = PhysicalTrace(2)
+    with pytest.raises(ValueError):
+        t.record("blocking_send", 1, 0, 1, 0)
+
+
+def test_matrix_all_and_per_type():
+    t = make_trace()
+    assert t.matrix().sum() == 4
+    assert t.matrix("local_send")[0, 1] == 2
+    assert t.matrix("nonblock_send")[1, 3] == 1
+    assert t.matrix("nonblock_progress")[1, 3] == 1
+
+
+def test_bytes_matrix():
+    t = make_trace()
+    assert t.bytes_matrix("local_send")[0, 1] == 200
+    assert t.bytes_matrix()[1, 3] == 208
+
+
+def test_counts_by_type_and_totals():
+    t = make_trace()
+    assert t.counts_by_type() == {
+        "local_send": 2,
+        "nonblock_send": 1,
+        "nonblock_progress": 1,
+    }
+    assert t.total_operations() == 4
+    assert t.sends_per_pe().tolist() == [2, 2, 0, 0]
+    assert t.recvs_per_pe().tolist() == [0, 2, 0, 2]
+
+
+def test_file_format_matches_paper(tmp_path):
+    t = make_trace()
+    path = t.write(tmp_path)
+    lines = path.read_text().strip().splitlines()
+    assert lines[0].startswith("#")
+    # "send type, buffer size, source PE, destination PE"
+    assert lines.count("local_send,100,0,1") == 2
+    assert "nonblock_send,200,1,3" in lines
+    assert "nonblock_progress,8,1,3" in lines
+
+
+def test_write_parse_roundtrip(tmp_path):
+    t = make_trace()
+    t.write(tmp_path)
+    parsed = parse_physical_file(tmp_path, 4)
+    assert parsed.counts_by_type() == t.counts_by_type()
+    assert np.array_equal(parsed.matrix(), t.matrix())
+    assert np.array_equal(parsed.bytes_matrix(), t.bytes_matrix())
+
+
+def test_parse_infers_n_pes(tmp_path):
+    make_trace().write(tmp_path)
+    parsed = parse_physical_file(tmp_path)
+    assert parsed.n_pes == 4

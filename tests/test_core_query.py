@@ -1,0 +1,141 @@
+"""Tests for the declarative trace query language."""
+
+import pytest
+
+from repro.core.logical import LogicalTrace
+from repro.core.physical import PhysicalTrace
+from repro.core.query import Query, QueryError, parse, run_query
+from repro.machine import MachineSpec
+
+
+@pytest.fixture
+def logical():
+    t = LogicalTrace(MachineSpec(2, 2))
+    for _ in range(5):
+        t.record(0, 1, 8)
+    for _ in range(3):
+        t.record(0, 3, 16)
+    t.record(2, 0, 8)
+    return t
+
+
+@pytest.fixture
+def physical():
+    t = PhysicalTrace(4)
+    t.record("local_send", 100, 0, 1, 0)
+    t.record("local_send", 100, 0, 1, 0)
+    t.record("nonblock_send", 200, 1, 3, 0)
+    t.record("nonblock_progress", 8, 1, 3, 0)
+    return t
+
+
+# -------------------------------------------------------------- parsing
+
+
+def test_parse_plain_metric():
+    q = parse("sends")
+    assert q == Query("sends")
+
+
+def test_parse_full_query():
+    q = parse("bytes where src == 0 and size >= 16 group by dst top 3")
+    assert q.metric == "bytes"
+    assert len(q.conditions) == 2
+    assert q.conditions[0].field == "src" and q.conditions[0].value == 0
+    assert q.conditions[1].op == ">="
+    assert q.group_by == "dst"
+    assert q.top == 3
+
+
+def test_parse_kind_condition():
+    q = parse("ops where kind == local_send")
+    assert q.conditions[0].value == "local_send"
+
+
+def test_parse_errors():
+    for bad in (
+        "",
+        "frobnicate",
+        "sends where flux == 1",
+        "sends where src <> 1",
+        "sends where src ==",
+        "sends group dst",
+        "sends group by flux",
+        "sends top x",
+        "sends trailing junk",
+        "sends where kind < local_send",
+        "sends where src == local_send",
+    ):
+        with pytest.raises(QueryError):
+            parse(bad)
+
+
+# ------------------------------------------------------------ evaluation
+
+
+def test_total_sends(logical):
+    assert run_query(logical, "sends") == 9
+
+
+def test_where_filters(logical):
+    assert run_query(logical, "sends where src == 0") == 8
+    assert run_query(logical, "sends where size == 16") == 3
+    assert run_query(logical, "sends where src == 0 and dst != 1") == 3
+
+
+def test_bytes_metric(logical):
+    assert run_query(logical, "bytes") == 5 * 8 + 3 * 16 + 8
+    assert run_query(logical, "bytes where dst == 3") == 48
+
+
+def test_node_fields(logical):
+    # node 0 hosts PEs 0-1; node 1 hosts PEs 2-3
+    assert run_query(logical, "sends where src_node != dst_node") == 3 + 1
+
+
+def test_group_by_and_top(logical):
+    ranked = run_query(logical, "sends where src == 0 group by dst")
+    assert ranked == [(1, 5), (3, 3)]
+    assert run_query(logical, "sends group by src top 1") == [(0, 8)]
+
+
+def test_physical_queries(physical):
+    assert run_query(physical, "ops") == 4
+    assert run_query(physical, "ops where kind == local_send") == 2
+    assert run_query(physical, "bytes where kind != nonblock_progress") == 400
+    ranked = run_query(physical, "ops group by kind")
+    assert ranked[0] == ("local_send", 2)
+
+
+def test_kind_on_logical_trace_rejected(logical):
+    with pytest.raises(QueryError):
+        run_query(logical, "sends where kind == local_send")
+    with pytest.raises(QueryError):
+        run_query(logical, "sends group by kind")
+
+
+def test_node_fields_on_physical_rejected(physical):
+    with pytest.raises(QueryError):
+        run_query(physical, "ops where src_node == 0")
+
+
+def test_query_wrong_object():
+    with pytest.raises(QueryError):
+        run_query(42, "sends")
+
+
+def test_deterministic_tie_ranking(logical):
+    # equal counts rank by stringified key for stability
+    t = LogicalTrace(MachineSpec(1, 4))
+    t.record(0, 1, 8)
+    t.record(0, 2, 8)
+    assert run_query(t, "sends group by dst") == [(1, 1), (2, 1)]
+
+
+def test_field_to_field_comparison(logical):
+    """src == dst style comparisons (e.g. self-sends, intra-node traffic)."""
+    t = LogicalTrace(MachineSpec(1, 4))
+    t.record(0, 0, 8)  # self-send
+    t.record(0, 1, 8)
+    assert run_query(t, "sends where src == dst") == 1
+    assert run_query(t, "sends where src != dst") == 1

@@ -1,0 +1,75 @@
+"""Tests for the plain-text report module."""
+
+import numpy as np
+
+from repro.core.logical import LogicalTrace
+from repro.core.overall import OverallProfile
+from repro.core.papi_trace import PAPITrace
+from repro.core.physical import PhysicalTrace
+from repro.core.report import (
+    ascii_bar,
+    mosaic_report,
+    overall_report,
+    papi_report,
+    physical_report,
+)
+from repro.machine import MachineSpec
+
+
+def test_ascii_bar():
+    assert ascii_bar(10, 10, width=4) == "████"
+    assert ascii_bar(5, 10, width=4) == "██"
+    assert ascii_bar(0, 10) == ""
+    assert ascii_bar(5, 0) == ""
+
+
+def test_mosaic_report_contents():
+    trace = LogicalTrace(MachineSpec(1, 4))
+    for _ in range(12):
+        trace.record(0, 1, 8)
+    trace.record(2, 3, 8)
+    text = mosaic_report(trace, "My trace")
+    assert "== My trace ==" in text
+    assert "total messages: 13" in text
+    assert "imbalance" in text
+    assert "median" in text
+    # the heatmap body is present (header row of column indices)
+    assert "0123" in text
+
+
+def test_physical_report_contents():
+    trace = PhysicalTrace(4)
+    trace.record("local_send", 128, 0, 1, 0)
+    trace.record("nonblock_send", 256, 1, 2, 0)
+    text = physical_report(trace)
+    assert "total operations: 2" in text
+    assert "local_send" in text and "nonblock_send" in text
+    assert "128" in text and "256" in text
+
+
+def test_overall_report_contents():
+    p = OverallProfile(2)
+    p.add_main(0, 100)
+    p.add_proc(0, 100)
+    p.add_total(0, 1000)
+    p.add_main(1, 50)
+    p.add_proc(1, 50)
+    p.add_total(1, 500)
+    text = overall_report(p)
+    assert "mean fractions" in text
+    assert "max T_TOTAL: 1,000 cycles" in text
+    # bars encode regions with M/c/P characters
+    assert "M" in text and "c" in text and "P" in text
+    assert "   0" in text and "   1" in text
+
+
+def test_papi_report_single_and_all_events():
+    trace = PAPITrace(MachineSpec(1, 2), ("PAPI_TOT_INS", "PAPI_LST_INS"))
+    trace.region_totals["MAIN"][0] = [100, 40]
+    trace.region_totals["MAIN"][1] = [50, 20]
+    all_text = papi_report(trace)
+    assert "PAPI_TOT_INS" in all_text and "PAPI_LST_INS" in all_text
+    one_text = papi_report(trace, event="PAPI_TOT_INS")
+    assert "PAPI_LST_INS" not in one_text
+    assert "imbalance" in one_text
+    assert "100" in one_text

@@ -1,0 +1,208 @@
+"""Tests for the timeline trace and its exporters."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import ActorProf, ProfileFlags
+from repro.core.export.chrome import to_chrome_trace, write_chrome_trace
+from repro.core.export.otf import FUNCTION_IDS, parse_otf_events, write_otf
+from repro.core.timeline import TimelineTrace
+from repro.hclib import Actor, run_spmd
+from repro.machine import MachineSpec
+
+
+# ----------------------------------------------------------- unit level
+
+
+def test_add_and_query_spans():
+    tl = TimelineTrace(2)
+    tl.add_span(0, "MAIN", 0, 100)
+    tl.add_span(0, "PROC", 120, 150, mailbox=1)
+    tl.add_span(1, "MAIN", 10, 20)
+    assert tl.span_count() == 3
+    assert len(tl.spans(0)) == 2
+    assert len(tl.spans(region="MAIN")) == 2
+    assert tl.spans(0, "PROC")[0].mailbox == 1
+    assert tl.spans(0, "PROC")[0].duration == 30
+
+
+def test_invalid_span_rejected():
+    tl = TimelineTrace(1)
+    with pytest.raises(ValueError):
+        tl.add_span(0, "MAIN", 100, 50)
+    with pytest.raises(ValueError):
+        TimelineTrace(1, max_spans_per_pe=0)
+
+
+def test_span_cap_drops_tail():
+    tl = TimelineTrace(1, max_spans_per_pe=2)
+    for i in range(5):
+        tl.add_span(0, "MAIN", i, i + 1)
+    assert tl.span_count() == 2
+    assert tl.dropped_spans == 3
+
+
+def test_net_events_and_end_time():
+    tl = TimelineTrace(2)
+    tl.add_span(0, "MAIN", 0, 100)
+    tl.add_net_event(500, "local_send", 0, 1, 64)
+    assert tl.end_time() == 500
+    assert len(tl.net_events("local_send")) == 1
+    assert tl.net_events("nonblock_send") == []
+
+
+def test_region_totals():
+    tl = TimelineTrace(2)
+    tl.add_span(0, "MAIN", 0, 100)
+    tl.add_span(0, "MAIN", 200, 250)
+    tl.add_span(1, "PROC", 0, 30)
+    assert tl.region_totals("MAIN").tolist() == [150, 0]
+    assert tl.region_totals("PROC").tolist() == [0, 30]
+
+
+def test_utilization():
+    tl = TimelineTrace(1)
+    tl.add_span(0, "MAIN", 0, 50)       # first bucket half busy
+    tl.add_span(0, "PROC", 100, 200)    # second bucket fully busy
+    util = tl.utilization(0, 100)
+    assert util[0] == pytest.approx(0.5)
+    assert util[1] == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        tl.utilization(0, 0)
+
+
+# ------------------------------------------------------ integrated runs
+
+
+@pytest.fixture(scope="module")
+def profiled_run():
+    ap = ActorProf(ProfileFlags.all(enable_timeline=True))
+
+    class A(Actor):
+        def __init__(self, ctx, arr):
+            super().__init__(ctx)
+            self.arr = arr
+
+        def process(self, idx, sender):
+            self.arr[idx] += 1
+
+    def program(ctx):
+        arr = np.zeros(8, dtype=np.int64)
+        a = A(ctx, arr)
+        with ctx.finish():
+            a.start()
+            for i in range(30):
+                a.send(int(ctx.rng.integers(0, 8)),
+                       int(ctx.rng.integers(0, ctx.n_pes)))
+            a.done()
+        return int(arr.sum())
+
+    run_spmd(program, machine=MachineSpec(2, 4), profiler=ap, seed=3)
+    return ap
+
+
+def test_runtime_produces_consistent_timeline(profiled_run):
+    ap = profiled_run
+    tl = ap.timeline
+    spec = ap.world.spec
+    # timeline MAIN/PROC totals must equal the overall profile's
+    assert np.array_equal(tl.region_totals("MAIN"), ap.overall.t_main)
+    assert np.array_equal(tl.region_totals("PROC"), ap.overall.t_proc)
+    # one FINISH span per PE spanning the measured total
+    for pe in range(spec.n_pes):
+        fin = tl.spans(pe, "FINISH")
+        assert len(fin) == 1
+        assert fin[0].duration == ap.overall.t_total[pe]
+    # network events match the physical trace operation count
+    assert len(tl.net_events()) == ap.physical.total_operations()
+
+
+def test_spans_are_non_overlapping_per_pe(profiled_run):
+    tl = profiled_run.timeline
+    for pe in range(profiled_run.world.spec.n_pes):
+        spans = sorted(
+            (s for s in tl.spans(pe) if s.region in ("MAIN", "PROC")),
+            key=lambda s: s.start,
+        )
+        for a, b in zip(spans, spans[1:]):
+            assert a.end <= b.start
+
+
+# --------------------------------------------------------- chrome export
+
+
+def test_chrome_trace_structure(profiled_run, tmp_path):
+    ap = profiled_run
+    obj = to_chrome_trace(ap.timeline, ap.world.spec, clock_ghz=2.0)
+    events = obj["traceEvents"]
+    phases = {e["ph"] for e in events}
+    assert {"M", "X", "i"} <= phases
+    spans = [e for e in events if e["ph"] == "X"]
+    assert len(spans) == ap.timeline.span_count()
+    # pid is the node, tid the PE
+    for e in spans:
+        assert e["pid"] == ap.world.spec.node_of(e["tid"])
+    # flow events pair up (s then f with the same id)
+    starts = [e["id"] for e in events if e["ph"] == "s"]
+    ends = [e["id"] for e in events if e["ph"] == "f"]
+    assert sorted(starts) == sorted(ends)
+    # timestamps are µs: 2 GHz → cycles / 2000
+    main0 = next(e for e in spans if e["name"] == "MAIN" and e["tid"] == 0)
+    raw = ap.timeline.spans(0, "MAIN")[0]
+    assert main0["ts"] == pytest.approx(raw.start / 2000.0)
+
+    path = write_chrome_trace(ap.timeline, ap.world.spec, tmp_path / "t.json")
+    loaded = json.loads(path.read_text())
+    assert len(loaded["traceEvents"]) == len(events)
+
+
+def test_chrome_trace_validates_clock():
+    tl = TimelineTrace(1)
+    with pytest.raises(ValueError):
+        to_chrome_trace(tl, MachineSpec(1, 1), clock_ghz=0)
+
+
+# ------------------------------------------------------------ otf export
+
+
+def test_otf_file_set(profiled_run, tmp_path):
+    ap = profiled_run
+    spec = ap.world.spec
+    written = write_otf(ap.timeline, spec, tmp_path, name="t")
+    assert (tmp_path / "t.otf").exists()
+    assert (tmp_path / "t.0.def").exists()
+    assert len(written) == 2 + spec.n_pes
+    defs = (tmp_path / "t.0.def").read_text()
+    assert "DEFTIMERRESOLUTION" in defs
+    assert 'DEFFUNCTION 1 "MAIN" 1' in defs
+    assert defs.count("DEFPROCESS ") == spec.n_pes
+    assert defs.count("DEFPROCESSGROUP") == spec.nodes
+
+
+def test_otf_events_roundtrip(profiled_run, tmp_path):
+    ap = profiled_run
+    write_otf(ap.timeline, ap.world.spec, tmp_path, name="t")
+    evs = parse_otf_events(tmp_path / "t.1.events")
+    enters = [e for e in evs if e[0] == "ENTER"]
+    leaves = [e for e in evs if e[0] == "LEAVE"]
+    assert len(enters) == len(leaves) == len(ap.timeline.spans(0))
+    # balanced per function id
+    for fid in FUNCTION_IDS.values():
+        assert sum(1 for e in enters if e[1] == fid) == sum(
+            1 for e in leaves if e[1] == fid
+        )
+    # timestamps are sorted
+    times = [e[1] if e[0] == "SEND" else e[2] for e in evs]
+    assert times == sorted(times)
+    sends = [e for e in evs if e[0] == "SEND"]
+    expected = [e for e in ap.timeline.net_events() if e.src == 0]
+    assert len(sends) == len(expected)
+
+
+def test_otf_parse_rejects_junk(tmp_path):
+    p = tmp_path / "bad.events"
+    p.write_text("WAT 1 2 3\n")
+    with pytest.raises(ValueError):
+        parse_otf_events(p)

@@ -1,0 +1,51 @@
+"""Tests for the timeline/utilization charts."""
+
+import pytest
+
+from repro.core.timeline import TimelineTrace
+from repro.core.viz.timeline_chart import timeline_svg, utilization_svg
+
+
+def make_timeline():
+    tl = TimelineTrace(2)
+    tl.add_span(0, "MAIN", 0, 400)
+    tl.add_span(0, "PROC", 500, 700, mailbox=0)
+    tl.add_span(0, "FINISH", 0, 1000)
+    tl.add_span(1, "MAIN", 100, 300)
+    tl.add_net_event(450, "local_send", 0, 1, 128)
+    tl.add_net_event(650, "nonblock_send", 1, 0, 64)
+    return tl
+
+
+def test_timeline_svg_structure():
+    s = timeline_svg(make_timeline(), title="T")
+    assert "<svg" in s
+    assert "PE0" in s and "PE1" in s
+    assert "PE0 MAIN: [0, 400)" in s
+    assert "PE0 PROC: [500, 700)" in s
+    # FINISH spans are background, not drawn as blocks
+    assert "FINISH" not in s
+    assert "cycles (rdtsc)" in s
+
+
+def test_timeline_svg_empty_timeline():
+    s = timeline_svg(TimelineTrace(1))
+    assert "<svg" in s
+
+
+def test_timeline_decimation_bounds_size():
+    tl = TimelineTrace(1)
+    for i in range(5000):
+        tl.add_span(0, "MAIN", 2 * i, 2 * i + 1)
+    s = timeline_svg(tl, max_spans=100)
+    # far fewer rects than spans
+    assert s.count("<rect") < 1000
+
+
+def test_utilization_svg():
+    s = utilization_svg(make_timeline(), buckets=10)
+    assert "<svg" in s
+    assert "busy" in s
+    assert "PE1" in s
+    with pytest.raises(ValueError):
+        utilization_svg(make_timeline(), buckets=0)

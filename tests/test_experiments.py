@@ -1,0 +1,79 @@
+"""Tests for the case-study experiment driver."""
+
+import pytest
+
+from repro.experiments import CaseStudySetup, clear_cache, run_case_study
+from repro.experiments.casestudy import case_study_graph, default_scale
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def test_setup_defaults_match_paper_shape():
+    s = CaseStudySetup()
+    assert s.machine.pes_per_node == 16
+    assert s.conveyor_config.payload_words == 2  # (j, k) messages
+    assert s.edge_factor == 16  # graph500 standard
+
+
+def test_default_scale_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "7")
+    assert default_scale() == 7
+
+
+def test_graph_is_memoized():
+    a = case_study_graph(6)
+    b = case_study_graph(6)
+    assert a is b
+    c = case_study_graph(7)
+    assert c is not a
+
+
+def test_run_is_memoized_and_validated():
+    r1 = run_case_study(1, "cyclic", scale=6, pes_per_node=4)
+    r2 = run_case_study(1, "cyclic", scale=6, pes_per_node=4)
+    assert r1 is r2
+    assert r1.result.triangles == r1.result.reference
+    assert r1.profiler.logical is not None
+    assert r1.profiler.overall is not None
+    assert r1.profiler.physical is not None
+
+
+def test_different_setups_not_shared():
+    a = run_case_study(1, "cyclic", scale=6, pes_per_node=4)
+    b = run_case_study(1, "range", scale=6, pes_per_node=4)
+    assert a is not b
+    assert a.result.triangles == b.result.triangles  # same graph, same answer
+
+
+def test_overrides_flow_through():
+    r = run_case_study(1, "cyclic", scale=6, pes_per_node=4, buffer_items=8,
+                       self_send_bypass=True)
+    assert r.setup.buffer_items == 8
+    assert r.setup.self_send_bypass
+    # bypass removes the physical self-send diagonal
+    assert r.profiler.physical.matrix("local_send").diagonal().sum() == 0
+
+
+def test_clear_cache():
+    r1 = run_case_study(1, "cyclic", scale=6, pes_per_node=4)
+    clear_cache()
+    r2 = run_case_study(1, "cyclic", scale=6, pes_per_node=4)
+    assert r1 is not r2
+
+
+def test_reproduce_entry_point(tmp_path):
+    """The one-shot reproduction writes figures, traces and REPORT.md."""
+    from repro.experiments.reproduce import reproduce
+
+    report = reproduce(scale=6, outdir=tmp_path, pes_per_node=4)
+    text = report.read_text()
+    assert "# Reproduction report" in text
+    assert "Fig 3" in text and "Fig 13" in text
+    assert (tmp_path / "figures" / "logical_1n_cyclic.svg").exists()
+    assert (tmp_path / "traces_2n_range" / "overall.txt").exists()
+    assert (tmp_path / "traces_1n_cyclic" / "PE0_send.csv").exists()

@@ -1,0 +1,53 @@
+"""Unit tests for the network model."""
+
+import pytest
+
+from repro.machine import CostModel, MachineSpec, NetworkModel
+
+
+def make_net(nodes=2, ppn=4, **cost) -> NetworkModel:
+    return NetworkModel(MachineSpec(nodes, ppn), CostModel().scaled(**cost))
+
+
+def test_locality():
+    net = make_net()
+    assert net.is_local(0, 3)
+    assert not net.is_local(0, 4)
+
+
+def test_local_transfer_is_memcpy_cost():
+    net = make_net()
+    assert net.transfer_cycles(0, 1, 512) == net.cost.memcpy_cycles(512)
+
+
+def test_remote_transfer_is_network_cost():
+    net = make_net()
+    assert net.transfer_cycles(0, 4, 512) == net.cost.net_transfer_cycles(512)
+
+
+def test_remote_more_expensive_than_local():
+    net = make_net()
+    assert net.transfer_cycles(0, 4, 1024) > net.transfer_cycles(0, 1, 1024)
+
+
+def test_issue_cycles_local_is_full_copy():
+    net = make_net()
+    assert net.issue_cycles(0, 1, 512) == net.cost.memcpy_cycles(512)
+
+
+def test_issue_cycles_remote_is_constant():
+    """Non-blocking put issue cost does not scale with payload."""
+    net = make_net()
+    assert net.issue_cycles(0, 4, 8) == net.issue_cycles(0, 4, 1 << 20)
+
+
+def test_arrival_time():
+    net = make_net()
+    t = net.arrival_time(0, 4, 100, issued_at=1000)
+    assert t == 1000 + net.cost.net_transfer_cycles(100)
+
+
+def test_negative_size_rejected():
+    net = make_net()
+    with pytest.raises(ValueError):
+        net.transfer_cycles(0, 1, -1)

@@ -1,0 +1,112 @@
+"""Unit tests for the per-PE performance core."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine import CostModel, PerfCore
+from repro.sim.clock import CycleClock
+
+
+def make_core(**cost_overrides) -> PerfCore:
+    return PerfCore(CycleClock(), CostModel().scaled(**cost_overrides))
+
+
+def test_work_charges_instructions_and_cycles():
+    core = make_core(cpi=1.0)
+    core.work(ins=100, loads=20, stores=10, branches=5)
+    assert core.counters.read("PAPI_TOT_INS") == 100
+    assert core.counters.read("PAPI_LST_INS") == 30
+    assert core.counters.read("PAPI_LD_INS") == 20
+    assert core.counters.read("PAPI_SR_INS") == 10
+    assert core.counters.read("PAPI_BR_INS") == 5
+    assert core.clock.now == 100
+    assert core.counters.read("PAPI_TOT_CYC") == 100
+
+
+def test_negative_work_rejected():
+    core = make_core()
+    with pytest.raises(ValueError):
+        core.work(ins=-1)
+
+
+def test_stall_adds_cycles_without_instructions():
+    core = make_core()
+    core.stall(500)
+    assert core.clock.now == 500
+    assert core.counters.read("PAPI_TOT_INS") == 0
+    with pytest.raises(ValueError):
+        core.stall(-1)
+
+
+def test_stall_until():
+    core = make_core()
+    core.stall(100)
+    assert core.stall_until(250) == 150
+    assert core.clock.now == 250
+    assert core.stall_until(200) == 0  # already past
+    assert core.clock.now == 250
+
+
+def test_memcpy_counts_line_touches():
+    core = make_core(cache_line_bytes=64)
+    core.memcpy(640)  # 10 lines
+    assert core.counters.read("PAPI_LD_INS") == 10
+    assert core.counters.read("PAPI_SR_INS") == 10
+    assert core.counters.read("PAPI_TOT_INS") == 20
+    with pytest.raises(ValueError):
+        core.memcpy(-1)
+
+
+def test_rdtsc_tracks_clock():
+    core = make_core()
+    core.work(ins=10)
+    assert core.rdtsc() == core.clock.now
+
+
+def test_synthetic_l1_misses_accumulate_deterministically():
+    core = make_core(l1_miss_rate=0.1)
+    # 1000 loads at 10% → exactly 100 misses via residue accumulation
+    for _ in range(10):
+        core.work(ins=100, loads=100)
+    assert core.counters.read("PAPI_L1_DCM") == 100
+
+
+def test_branch_mispredictions_accumulate():
+    core = make_core(branch_misp_rate=0.5)
+    core.work(ins=10, branches=10)
+    assert core.counters.read("PAPI_BR_MSP") == 5
+
+
+def test_two_equal_programs_have_identical_counters():
+    def run():
+        core = make_core()
+        for i in range(50):
+            core.work(ins=13 + i, loads=i % 7, branches=i % 3)
+            core.memcpy(100 * (i % 5))
+        return core.counters.snapshot().values
+
+    assert run() == run()
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1000), st.integers(0, 300), st.integers(0, 100)),
+        max_size=40,
+    )
+)
+def test_totals_equal_sum_of_parts(blocks):
+    core = make_core()
+    tot_ins = tot_loads = tot_stores = 0
+    for ins, loads, stores in blocks:
+        core.work(ins=ins, loads=loads, stores=stores)
+        tot_ins += ins
+        tot_loads += loads
+        tot_stores += stores
+    assert core.counters.read("PAPI_TOT_INS") == tot_ins
+    assert core.counters.read("PAPI_LST_INS") == tot_loads + tot_stores
+    # misses never exceed loads
+    assert core.counters.read("PAPI_L1_DCM") <= tot_loads
+    assert core.counters.read("PAPI_L2_DCM") <= core.counters.read("PAPI_L1_DCM") or (
+        core.counters.read("PAPI_L2_DCM") <= tot_loads
+    )

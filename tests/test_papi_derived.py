@@ -1,0 +1,56 @@
+"""Tests for derived PAPI metrics."""
+
+import pytest
+
+from repro.machine import CostModel, PerfCore
+from repro.papi.derived import (
+    DerivedMetrics,
+    branch_misprediction_rate,
+    ipc,
+    l1_miss_rate,
+    memory_intensity,
+    vectorization_ratio,
+)
+from repro.sim.clock import CycleClock
+
+
+def test_rates_from_dict():
+    vals = {
+        "PAPI_TOT_INS": 1000,
+        "PAPI_TOT_CYC": 2000,
+        "PAPI_LD_INS": 200,
+        "PAPI_L1_DCM": 10,
+        "PAPI_BR_INS": 100,
+        "PAPI_BR_MSP": 5,
+        "PAPI_LST_INS": 300,
+        "PAPI_VEC_INS": 50,
+    }
+    assert ipc(vals) == 0.5
+    assert l1_miss_rate(vals) == 0.05
+    assert branch_misprediction_rate(vals) == 0.05
+    assert memory_intensity(vals) == 0.3
+    assert vectorization_ratio(vals) == 0.05
+
+
+def test_zero_denominators():
+    assert ipc({}) == 0.0
+    assert l1_miss_rate({}) == 0.0
+    assert branch_misprediction_rate({}) == 0.0
+    assert memory_intensity({}) == 0.0
+
+
+def test_from_counter_snapshot():
+    core = PerfCore(CycleClock(), CostModel().scaled(cpi=2.0, l1_miss_rate=0.1))
+    core.work(ins=100, loads=50, stores=10, branches=20, vec=4)
+    m = DerivedMetrics.of(core.counters.snapshot())
+    assert m.ipc == pytest.approx(0.5)
+    assert m.l1_miss_rate == pytest.approx(0.1)
+    assert m.memory_intensity == pytest.approx(0.6)
+    assert m.vectorization_ratio == pytest.approx(0.04)
+    assert "IPC=0.50" in m.describe()
+
+
+def test_describe_contains_all_fields():
+    text = DerivedMetrics.of({}).describe()
+    for token in ("IPC", "L1", "L2", "brMiss", "mem", "vec"):
+        assert token in text

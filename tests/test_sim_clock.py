@@ -1,0 +1,81 @@
+"""Unit tests for the virtual cycle clock."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.clock import CycleClock
+
+
+def test_starts_at_zero_by_default():
+    assert CycleClock().now == 0
+
+
+def test_starts_at_given_time():
+    assert CycleClock(123).now == 123
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        CycleClock(-1)
+
+
+def test_advance_moves_forward():
+    c = CycleClock()
+    assert c.advance(10) == 10
+    assert c.advance(5) == 15
+    assert c.now == 15
+
+
+def test_advance_by_zero_is_noop():
+    c = CycleClock(7)
+    c.advance(0)
+    assert c.now == 7
+
+
+def test_advance_negative_rejected():
+    c = CycleClock()
+    with pytest.raises(ValueError):
+        c.advance(-1)
+
+
+def test_advance_to_future():
+    c = CycleClock(10)
+    assert c.advance_to(50) == 50
+    assert c.now == 50
+
+
+def test_advance_to_past_is_noop():
+    c = CycleClock(100)
+    assert c.advance_to(50) == 100
+    assert c.now == 100
+
+
+def test_rdtsc_alias():
+    c = CycleClock(42)
+    assert c.rdtsc() == c.now == 42
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), max_size=50))
+def test_clock_is_monotonic_under_any_advance_sequence(steps):
+    c = CycleClock()
+    prev = 0
+    for s in steps:
+        c.advance(s)
+        assert c.now >= prev
+        prev = c.now
+    assert c.now == sum(steps)
+
+
+@given(
+    st.integers(min_value=0, max_value=10**9),
+    st.lists(st.integers(min_value=0, max_value=10**9), max_size=30),
+)
+def test_advance_to_never_rewinds(start, targets):
+    c = CycleClock(start)
+    prev = c.now
+    for t in targets:
+        c.advance_to(t)
+        assert c.now >= prev
+        assert c.now >= min(t, c.now)
+        prev = c.now

@@ -1,0 +1,77 @@
+"""Unit tests for the timed event queue."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.events import EventQueue
+
+
+def test_empty_queue():
+    q = EventQueue()
+    assert len(q) == 0
+    assert q.next_time() is None
+    assert q.pop_next() is None
+    assert q.pop_due(10**9) == []
+
+
+def test_schedule_and_pop_in_time_order():
+    q = EventQueue()
+    fired = []
+    q.schedule(30, lambda: fired.append("c"))
+    q.schedule(10, lambda: fired.append("a"))
+    q.schedule(20, lambda: fired.append("b"))
+    while (ev := q.pop_next()) is not None:
+        ev.action()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_break_by_scheduling_order():
+    q = EventQueue()
+    fired = []
+    for i in range(5):
+        q.schedule(42, lambda i=i: fired.append(i))
+    while (ev := q.pop_next()) is not None:
+        ev.action()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_next_time_peeks_without_removing():
+    q = EventQueue()
+    q.schedule(5, lambda: None)
+    assert q.next_time() == 5
+    assert len(q) == 1
+
+
+def test_pop_due_removes_only_due_events():
+    q = EventQueue()
+    for t in (1, 5, 9, 20):
+        q.schedule(t, lambda: None)
+    due = q.pop_due(9)
+    assert [e.time for e in due] == [1, 5, 9]
+    assert q.next_time() == 20
+
+
+def test_negative_time_rejected():
+    q = EventQueue()
+    with pytest.raises(ValueError):
+        q.schedule(-1, lambda: None)
+
+
+def test_clear():
+    q = EventQueue()
+    q.schedule(1, lambda: None)
+    q.clear()
+    assert len(q) == 0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=100))
+def test_pop_order_is_sorted_by_time_then_seq(times):
+    q = EventQueue()
+    for t in times:
+        q.schedule(t, lambda: None)
+    popped = []
+    while (ev := q.pop_next()) is not None:
+        popped.append((ev.time, ev.seq))
+    assert popped == sorted(popped)
+    assert [t for t, _ in popped] == sorted(times)

@@ -1,0 +1,45 @@
+"""Unit tests for deterministic RNG spawning."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import pe_rng, spawn_rngs
+
+
+def test_spawn_count():
+    assert len(spawn_rngs(0, 5)) == 5
+    assert spawn_rngs(0, 0) == []
+
+
+def test_spawn_negative_rejected():
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)
+
+
+def test_streams_are_reproducible():
+    a = spawn_rngs(42, 3)
+    b = spawn_rngs(42, 3)
+    for x, y in zip(a, b):
+        assert np.array_equal(x.integers(0, 1000, 10), y.integers(0, 1000, 10))
+
+
+def test_streams_are_independent():
+    a, b = spawn_rngs(42, 2)
+    assert not np.array_equal(a.integers(0, 10**9, 20), b.integers(0, 10**9, 20))
+
+
+def test_pe_rng_matches_spawn():
+    full = spawn_rngs(7, 4)
+    solo = pe_rng(7, 3)
+    assert np.array_equal(full[3].integers(0, 10**9, 10), solo.integers(0, 10**9, 10))
+
+
+def test_pe_rng_negative_rank_rejected():
+    with pytest.raises(ValueError):
+        pe_rng(0, -1)
+
+
+def test_different_seeds_differ():
+    a = pe_rng(1, 0)
+    b = pe_rng(2, 0)
+    assert not np.array_equal(a.integers(0, 10**9, 20), b.integers(0, 10**9, 20))
