@@ -34,10 +34,24 @@ from repro.core.papi_trace import PAPITrace, parse_papi_dir
 from repro.core.physical import PhysicalTrace, parse_physical_file
 from repro.core.profiler import ActorProf
 from repro.core.query import run_query
+from repro.core.store import (
+    Archive,
+    ArchiveWriter,
+    RunRegistry,
+    TraceArchiver,
+    export_run,
+    load_run,
+)
 from repro.core.timeline import TimelineTrace
 
 __all__ = [
     "ActorProf",
+    "Archive",
+    "ArchiveWriter",
+    "RunRegistry",
+    "TraceArchiver",
+    "export_run",
+    "load_run",
     "ConventionalProfiler",
     "LiveMonitor",
     "LogicalTrace",

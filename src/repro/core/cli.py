@@ -9,13 +9,30 @@ Mirrors the paper's run-time flags (Section III):
 * ``-p``  — physical trace heatmap (from ``physical.txt``)
 
 Like the paper's ``logical.py``/``physical.py``/``papi.py``/``Overall.py``
-scripts, the trace-directory path is a positional argument and the total
-number of PEs (``num_PEs``) is a required input.  SVG charts land next to
-the traces (or in ``--out``); text summaries print to stdout.
+scripts, the trace path is a positional argument and the total number of
+PEs (``num_PEs``) is a required input for text trace directories.  SVG
+charts land next to the traces (or in ``--out``); text summaries print
+to stdout.
 
-Example::
+Beyond the paper scripts, the CLI fronts the binary trace store
+(:mod:`repro.core.store`):
+
+* the positional trace path may be a ``.aptrc`` archive instead of a
+  directory (``--archive`` forces that interpretation; ``--num-pes``
+  becomes optional because archives are self-describing),
+* ``--export-archive PATH`` re-packs a text trace directory into one
+  ``.aptrc`` file,
+* ``actorprof runs list|show|add|rm`` manages the on-disk run registry,
+* ``actorprof diff RUN_A RUN_B`` compares two stored runs (directories,
+  archives, or registered run ids).
+
+Examples::
 
     actorprof -l -p -s traces/ --num-pes 16 --out charts/
+    actorprof traces/ --num-pes 16 --export-archive run.aptrc
+    actorprof -l -s run.aptrc
+    actorprof runs add run.aptrc --registry runs/
+    actorprof diff runs/a.aptrc runs/b.aptrc
 """
 
 from __future__ import annotations
@@ -34,6 +51,15 @@ from repro.core.report import (
     papi_report,
     physical_report,
 )
+from repro.core.store.archive import (
+    Archive,
+    ArchiveError,
+    is_archive,
+    load_logical,
+    load_overall,
+    load_papi,
+    load_physical,
+)
 from repro.core.viz.bars import grouped_bar_graph
 from repro.core.viz.heatmap import heatmap_svg
 from repro.core.viz.stacked import stacked_bar_graph
@@ -44,11 +70,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="actorprof",
         description="ActorProf trace visualizer for FA-BSP executions",
+        epilog="subcommands: 'actorprof runs …' manages the run registry; "
+               "'actorprof diff A B' compares two stored runs",
     )
     parser.add_argument("trace_dir", type=Path,
-                        help="directory containing the trace files")
-    parser.add_argument("--num-pes", type=int, required=True,
-                        help="total number of PEs used in the run (num_PEs)")
+                        help="directory containing the trace files, or a "
+                             ".aptrc trace archive")
+    parser.add_argument("--num-pes", type=int, default=None,
+                        help="total number of PEs used in the run (num_PEs); "
+                             "required for trace directories, read from "
+                             "metadata for .aptrc archives")
     parser.add_argument("-l", dest="logical", action="store_true",
                         help="logical trace heatmap (PEi_send.csv)")
     parser.add_argument("-lp", dest="papi", action="store_true",
@@ -61,11 +92,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="timeline + utilization charts (trace.json)")
     parser.add_argument("--violin", action="store_true",
                         help="also emit violin plots for -l / -p traces")
+    parser.add_argument("--archive", action="store_true",
+                        help="treat the trace path as a .aptrc archive "
+                             "(auto-detected for *.aptrc files)")
+    parser.add_argument("--export-archive", type=Path, default=None,
+                        metavar="PATH",
+                        help="re-pack the trace directory into a single "
+                             ".aptrc binary archive at PATH")
     parser.add_argument("--compare", type=Path, default=None,
-                        metavar="OTHER_DIR",
-                        help="compare this trace directory (A) against "
-                             "another run's traces (B) for the selected "
-                             "-l / -s / -p products")
+                        metavar="OTHER",
+                        help="compare this run (A) against another run's "
+                             "trace directory or .aptrc archive (B) for the "
+                             "selected -l / -s / -p products")
     parser.add_argument("--query", action="append", default=[],
                         metavar="'logical|physical: EXPR'",
                         help="run a declarative trace query, e.g. "
@@ -79,16 +117,41 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "runs":
+        return _runs_main(argv[1:])
+    if argv and argv[0] == "diff":
+        return _diff_main(argv[1:])
     args = build_parser().parse_args(argv)
     if not (args.logical or args.papi or args.overall or args.physical
-            or args.timeline or args.query):
+            or args.timeline or args.query or args.export_archive):
         print("nothing to do: pass at least one of -l, -lp, -s, -p, -t, "
-              "--query", file=sys.stderr)
+              "--query, --export-archive", file=sys.stderr)
         return 2
-    if not args.trace_dir.is_dir():
-        print(f"trace directory {args.trace_dir} does not exist", file=sys.stderr)
-        return 2
-    out = args.out or args.trace_dir
+    use_archive = args.archive or is_archive(args.trace_dir)
+    if use_archive:
+        if not args.trace_dir.is_file():
+            print(f"archive {args.trace_dir} does not exist", file=sys.stderr)
+            return 2
+        if args.export_archive is not None:
+            print("--export-archive needs a text trace directory as input",
+                  file=sys.stderr)
+            return 2
+        if args.timeline:
+            print("-t needs a trace directory (trace.json is not stored "
+                  "in .aptrc archives)", file=sys.stderr)
+            return 2
+    else:
+        if not args.trace_dir.is_dir():
+            print(f"trace directory {args.trace_dir} does not exist",
+                  file=sys.stderr)
+            return 2
+        if args.num_pes is None:
+            print("--num-pes is required when reading a trace directory",
+                  file=sys.stderr)
+            return 2
+    out = args.out or (args.trace_dir.parent if use_archive else args.trace_dir)
     out.mkdir(parents=True, exist_ok=True)
     emitted: list[Path] = []
 
@@ -96,21 +159,46 @@ def main(argv: list[str] | None = None) -> int:
         if not args.quiet:
             print(text)
 
-    if args.compare is not None and not args.compare.is_dir():
-        print(f"compare directory {args.compare} does not exist",
+    if args.compare is not None and not (args.compare.is_dir()
+                                         or is_archive(args.compare)):
+        print(f"compare target {args.compare} does not exist",
               file=sys.stderr)
         return 2
 
+    archive = None
     try:
-        return _render(args, out, emitted, say)
+        if use_archive:
+            archive = Archive(args.trace_dir)
+            if args.num_pes is None:
+                args.num_pes = archive.n_pes
+        return _render(args, archive, out, emitted, say)
     except (FileNotFoundError, ValueError) as exc:
         print(f"cannot read traces: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if archive is not None:
+            archive.close()
 
 
-def _render(args, out, emitted, say) -> int:
+def _render(args, archive, out, emitted, say) -> int:
+    def load(kind):
+        """Load one trace kind from the archive or the text directory."""
+        if archive is not None:
+            return {
+                "logical": load_logical,
+                "physical": load_physical,
+                "papi": load_papi,
+                "overall": load_overall,
+            }[kind](archive)
+        return {
+            "logical": lambda: parse_logical_dir(args.trace_dir, args.num_pes),
+            "physical": lambda: parse_physical_file(args.trace_dir, args.num_pes),
+            "papi": lambda: parse_papi_dir(args.trace_dir, args.num_pes),
+            "overall": lambda: parse_overall_file(args.trace_dir),
+        }[kind]()
+
     if args.logical:
-        trace = parse_logical_dir(args.trace_dir, args.num_pes)
+        trace = load("logical")
         path = out / "logical_heatmap.svg"
         path.write_text(heatmap_svg(trace.matrix(), title="Logical trace heatmap"))
         emitted.append(path)
@@ -124,7 +212,7 @@ def _render(args, out, emitted, say) -> int:
         say(mosaic_report(trace))
 
     if args.papi:
-        trace = parse_papi_dir(args.trace_dir, args.num_pes)
+        trace = load("papi")
         series = {ev: trace.totals_per_pe(ev) for ev in trace.events}
         path = out / "papi_bars.svg"
         path.write_text(grouped_bar_graph(series, title="PAPI counters per PE"))
@@ -132,7 +220,7 @@ def _render(args, out, emitted, say) -> int:
         say(papi_report(trace))
 
     if args.overall:
-        profile = parse_overall_file(args.trace_dir)
+        profile = load("overall")
         for rel, name in ((False, "overall_absolute.svg"), (True, "overall_relative.svg")):
             path = out / name
             path.write_text(stacked_bar_graph(profile, relative=rel))
@@ -140,7 +228,7 @@ def _render(args, out, emitted, say) -> int:
         say(overall_report(profile))
 
     if args.physical:
-        trace = parse_physical_file(args.trace_dir, args.num_pes)
+        trace = load("physical")
         path = out / "physical_heatmap.svg"
         path.write_text(heatmap_svg(trace.matrix(), title="Physical trace heatmap"))
         emitted.append(path)
@@ -162,7 +250,9 @@ def _render(args, out, emitted, say) -> int:
         try:
             from repro.core.analysis import aggregate_to_nodes
 
-            logical_spec = parse_logical_dir(args.trace_dir, args.num_pes).spec
+            logical_spec = (archive.spec() if archive is not None
+                            else parse_logical_dir(args.trace_dir,
+                                                   args.num_pes).spec)
             if logical_spec.nodes > 1:
                 node_m = aggregate_to_nodes(trace.matrix(), logical_spec)
                 path = out / "physical_heatmap_nodes.svg"
@@ -171,7 +261,7 @@ def _render(args, out, emitted, say) -> int:
                     xlabel="destination node", ylabel="source node",
                 ))
                 emitted.append(path)
-        except (FileNotFoundError, ValueError):
+        except (FileNotFoundError, ValueError, ArchiveError):
             pass  # no logical trace to infer node boundaries from
         say(physical_report(trace))
 
@@ -181,25 +271,18 @@ def _render(args, out, emitted, say) -> int:
             OverallDiff,
             PhysicalDiff,
             compare_report,
+            load_traces,
         )
 
         logical_d = overall_d = physical_d = None
         try:
-            if args.logical:
-                logical_d = LogicalDiff.of(
-                    parse_logical_dir(args.trace_dir, args.num_pes),
-                    parse_logical_dir(args.compare, args.num_pes),
-                )
-            if args.overall:
-                overall_d = OverallDiff.of(
-                    parse_overall_file(args.trace_dir),
-                    parse_overall_file(args.compare),
-                )
-            if args.physical:
-                physical_d = PhysicalDiff.of(
-                    parse_physical_file(args.trace_dir, args.num_pes),
-                    parse_physical_file(args.compare, args.num_pes),
-                )
+            other = load_traces(args.compare, args.num_pes)
+            if args.logical and other.logical is not None:
+                logical_d = LogicalDiff.of(load("logical"), other.logical)
+            if args.overall and other.overall is not None:
+                overall_d = OverallDiff.of(load("overall"), other.overall)
+            if args.physical and other.physical is not None:
+                physical_d = PhysicalDiff.of(load("physical"), other.physical)
         except (FileNotFoundError, ValueError) as exc:
             print(f"compare failed: {exc}", file=sys.stderr)
             return 2
@@ -218,12 +301,16 @@ def _render(args, out, emitted, say) -> int:
                       f"'physical: EXPR'", file=sys.stderr)
                 return 2
             try:
-                if target == "logical":
-                    trace = parse_logical_dir(args.trace_dir, args.num_pes)
+                if archive is not None:
+                    # column-pruned evaluation straight off the archive
+                    result = run_query(archive.section(target), expr)
                 else:
-                    trace = parse_physical_file(args.trace_dir, args.num_pes)
-                result = run_query(trace, expr)
-            except (QueryError, FileNotFoundError) as exc:
+                    if target == "logical":
+                        trace = parse_logical_dir(args.trace_dir, args.num_pes)
+                    else:
+                        trace = parse_physical_file(args.trace_dir, args.num_pes)
+                    result = run_query(trace, expr)
+            except (QueryError, FileNotFoundError, ArchiveError) as exc:
                 print(f"query failed: {exc}", file=sys.stderr)
                 return 2
             print(f"[{target}] {expr}")
@@ -253,7 +340,162 @@ def _render(args, out, emitted, say) -> int:
             f"{len(tl.net_events())} network events, "
             f"horizon {tl.end_time():,} cycles")
 
+    if args.export_archive is not None:
+        from repro.core.store.writer import export_run
+
+        traces = {}
+        for kind in ("logical", "physical", "papi", "overall"):
+            try:
+                traces[kind] = load(kind)
+            except FileNotFoundError:
+                pass
+        if not traces:
+            print(f"no traces found in {args.trace_dir} to export",
+                  file=sys.stderr)
+            return 2
+        path = export_run(
+            args.export_archive,
+            logical=traces.get("logical"),
+            physical=traces.get("physical"),
+            papi=traces.get("papi"),
+            overall=traces.get("overall"),
+        )
+        emitted.append(path)
+        say(f"archived {', '.join(sorted(traces))} → {path} "
+            f"({path.stat().st_size:,} bytes)")
+
     say("\nwrote: " + ", ".join(str(p) for p in emitted))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# `actorprof runs` — the registry subcommands
+# ----------------------------------------------------------------------
+
+def _runs_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--registry", type=Path, default=None,
+                        help="registry directory (default: $ACTORPROF_RUNS "
+                             "or ~/.actorprof/runs)")
+    parser = argparse.ArgumentParser(
+        prog="actorprof runs",
+        description="manage the on-disk registry of .aptrc trace archives",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", parents=[common], help="list registered runs")
+    show = sub.add_parser("show", parents=[common],
+                          help="show one run's metadata and sections")
+    show.add_argument("run", help="run id (or unique prefix)")
+    add = sub.add_parser("add", parents=[common],
+                         help="register an existing .aptrc archive")
+    add.add_argument("archive", type=Path, help="path to the archive")
+    add.add_argument("--id", default=None, help="run id (default: file stem)")
+    rm = sub.add_parser("rm", parents=[common],
+                        help="delete a run from the registry")
+    rm.add_argument("run", help="run id (or unique prefix)")
+    return parser
+
+
+def _runs_main(argv: list[str]) -> int:
+    from repro.core.store.registry import (
+        RegistryError,
+        RunRegistry,
+        default_registry_root,
+    )
+
+    args = _runs_parser().parse_args(argv)
+    registry = RunRegistry(args.registry or default_registry_root())
+    try:
+        if args.command == "list":
+            runs = registry.list()
+            if not runs:
+                print(f"no runs registered in {registry.root}")
+                return 0
+            for info in runs:
+                print(info.describe())
+            return 0
+        if args.command == "show":
+            info = registry.resolve(args.run)
+            print(f"run:     {info.run_id}")
+            print(f"file:    {info.path} ({info.size_bytes:,} bytes)")
+            print(f"created: {info.created}")
+            for key in sorted(info.meta):
+                print(f"meta.{key}: {info.meta[key]}")
+            with Archive(info.path) as archive:
+                for name in archive.sections:
+                    section = archive.section(name)
+                    print(f"section {name}: {section.rows:,} rows, "
+                          f"columns {', '.join(section.columns)}")
+            return 0
+        if args.command == "add":
+            info = registry.add(args.archive, run_id=args.id)
+            print(f"registered {info.run_id} ← {args.archive}")
+            return 0
+        if args.command == "rm":
+            info = registry.remove(args.run)
+            print(f"removed {info.run_id}")
+            return 0
+    except (RegistryError, ArchiveError, OSError) as exc:
+        print(f"runs {args.command} failed: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled runs command {args.command!r}")
+
+
+# ----------------------------------------------------------------------
+# `actorprof diff` — compare two stored runs
+# ----------------------------------------------------------------------
+
+def _diff_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="actorprof diff",
+        description="compare two stored runs (the cyclic-vs-range workflow)",
+    )
+    parser.add_argument("run_a", help="trace directory, .aptrc archive, or "
+                                      "registered run id (run A)")
+    parser.add_argument("run_b", help="trace directory, .aptrc archive, or "
+                                      "registered run id (run B)")
+    parser.add_argument("--num-pes", type=int, default=None,
+                        help="PE count (required only for trace directories)")
+    parser.add_argument("--registry", type=Path, default=None,
+                        help="registry to resolve run ids against (default: "
+                             "$ACTORPROF_RUNS or ~/.actorprof/runs)")
+    return parser
+
+
+def _resolve_run(ref: str, registry_root: Path | None) -> Path:
+    """A run reference: an existing path, else a registry run id."""
+    path = Path(ref)
+    if path.is_dir() or is_archive(path):
+        return path
+    from repro.core.store.registry import (
+        RegistryError,
+        RunRegistry,
+        default_registry_root,
+    )
+
+    registry = RunRegistry(registry_root or default_registry_root())
+    try:
+        return registry.resolve(ref).path
+    except RegistryError:
+        raise FileNotFoundError(
+            f"{ref!r} is not a trace directory, a .aptrc archive, or a "
+            f"registered run id in {registry.root}"
+        ) from None
+
+
+def _diff_main(argv: list[str]) -> int:
+    from repro.core.diffing import diff_runs
+
+    args = _diff_parser().parse_args(argv)
+    try:
+        path_a = _resolve_run(args.run_a, args.registry)
+        path_b = _resolve_run(args.run_b, args.registry)
+        report = diff_runs(path_a, path_b, n_pes=args.num_pes,
+                           label_a=args.run_a, label_b=args.run_b)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"diff failed: {exc}", file=sys.stderr)
+        return 2
+    print(report)
     return 0
 
 

@@ -3,19 +3,23 @@
 The paper's analysis is intrinsically comparative — 1D Cyclic *versus*
 1D Range, one node *versus* two.  This module turns that into tooling:
 given two runs' traces, compute the per-PE and aggregate deltas and render
-a side-by-side report.  The CLI exposes it as ``--compare OTHER_DIR``.
+a side-by-side report.  The CLI exposes it as ``--compare OTHER_DIR`` and
+as ``actorprof diff RUN_A RUN_B``, where each run may be a paper-format
+trace directory or a ``.aptrc`` archive (:func:`diff_runs`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.analysis import imbalance_ratio
-from repro.core.logical import LogicalTrace
-from repro.core.overall import OverallProfile
-from repro.core.physical import PhysicalTrace
+from repro.core.logical import LogicalTrace, parse_logical_dir
+from repro.core.overall import OverallProfile, parse_overall_file
+from repro.core.physical import PhysicalTrace, parse_physical_file
+from repro.core.store.archive import RunTraces, is_archive, load_run
 
 
 def _ratio(a: float, b: float) -> float:
@@ -140,3 +144,70 @@ def compare_report(
     if logical is None and overall is None and physical is None:
         lines.append("(no comparable traces found)")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# whole-run comparison over directories or archives
+# ----------------------------------------------------------------------
+
+def load_traces(path: str | Path, n_pes: int | None = None) -> RunTraces:
+    """Load whatever traces exist at ``path``.
+
+    ``path`` is either a ``.aptrc`` archive (self-describing, ``n_pes``
+    ignored) or a paper-format trace directory, for which ``n_pes`` is
+    required to parse the per-PE CSV files.
+    """
+    path = Path(path)
+    if is_archive(path):
+        return load_run(path)
+    if not path.is_dir():
+        raise FileNotFoundError(
+            f"{path} is neither a trace directory nor a .aptrc archive"
+        )
+    if n_pes is None:
+        raise ValueError(
+            f"--num-pes is required to read the trace directory {path}"
+        )
+    out = RunTraces()
+    try:
+        out.logical = parse_logical_dir(path, n_pes)
+    except FileNotFoundError:
+        pass
+    try:
+        out.physical = parse_physical_file(path, n_pes)
+    except FileNotFoundError:
+        pass
+    try:
+        out.overall = parse_overall_file(path)
+    except FileNotFoundError:
+        pass
+    return out
+
+
+def diff_runs(
+    path_a: str | Path,
+    path_b: str | Path,
+    n_pes: int | None = None,
+    label_a: str | None = None,
+    label_b: str | None = None,
+) -> str:
+    """Compare two stored runs and render the side-by-side report.
+
+    Each path may be a trace directory or a ``.aptrc`` archive; only the
+    trace kinds present in *both* runs are compared.
+    """
+    a = load_traces(path_a, n_pes)
+    b = load_traces(path_b, n_pes)
+    logical = (LogicalDiff.of(a.logical, b.logical)
+               if a.logical is not None and b.logical is not None else None)
+    overall = (OverallDiff.of(a.overall, b.overall)
+               if a.overall is not None and b.overall is not None else None)
+    physical = (PhysicalDiff.of(a.physical, b.physical)
+                if a.physical is not None and b.physical is not None else None)
+    return compare_report(
+        label_a if label_a is not None else str(path_a),
+        label_b if label_b is not None else str(path_b),
+        logical=logical,
+        overall=overall,
+        physical=physical,
+    )

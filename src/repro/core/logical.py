@@ -129,6 +129,77 @@ class LogicalTrace:
         return int(self.estimated_matrix().sum())
 
     # ------------------------------------------------------------------
+    # archive adapters (.aptrc columnar store)
+    # ------------------------------------------------------------------
+
+    def to_columns(self) -> tuple[dict[str, np.ndarray], dict]:
+        """Columnar form for the ``.aptrc`` store: (columns, attrs).
+
+        Rows are the aggregated ``(src, dst, size) → count`` entries,
+        sorted so the delta codec sees near-monotone sequences.
+        """
+        srcs: list[int] = []
+        dsts: list[int] = []
+        sizes: list[int] = []
+        counts: list[int] = []
+        for src, per_src in enumerate(self._counts):
+            for (dst, size), n in sorted(per_src.items()):
+                srcs.append(src)
+                dsts.append(dst)
+                sizes.append(size)
+                counts.append(n)
+        columns = {
+            "src": np.asarray(srcs, dtype=np.int64),
+            "dst": np.asarray(dsts, dtype=np.int64),
+            "size": np.asarray(sizes, dtype=np.int64),
+            "count": np.asarray(counts, dtype=np.int64),
+        }
+        attrs = {
+            "nodes": self.spec.nodes,
+            "pes_per_node": self.spec.pes_per_node,
+            "machine_name": self.spec.name,
+            "sample_interval": self.sample_interval,
+            "ticks": list(self._ticks),
+        }
+        return columns, attrs
+
+    @classmethod
+    def from_columns(cls, columns: dict, attrs: dict) -> "LogicalTrace":
+        """Rebuild a trace from archive columns (inverse of to_columns).
+
+        Duplicate ``(src, dst, size)`` keys — produced by streaming
+        writers that spill partial aggregates — are merged by summing.
+        """
+        spec = MachineSpec(
+            nodes=int(attrs["nodes"]),
+            pes_per_node=int(attrs["pes_per_node"]),
+            name=str(attrs.get("machine_name", "simulated-cluster")),
+        )
+        trace = cls(spec, sample_interval=int(attrs.get("sample_interval", 1)))
+        n_pes = spec.n_pes
+        for src, dst, size, n in zip(
+            columns["src"].tolist(), columns["dst"].tolist(),
+            columns["size"].tolist(), columns["count"].tolist(),
+        ):
+            if not (0 <= src < n_pes and 0 <= dst < n_pes):
+                raise ValueError(
+                    f"archived logical row has PE pair ({src}, {dst}) out "
+                    f"of range for n_pes={n_pes}"
+                )
+            c = trace._counts[src]
+            key = (dst, size)
+            c[key] = c.get(key, 0) + n
+        ticks = attrs.get("ticks")
+        if ticks is not None:
+            trace._ticks = [int(t) for t in ticks]
+        else:
+            trace._ticks = [
+                sum(per_src.values()) * trace.sample_interval
+                for per_src in trace._counts
+            ]
+        return trace
+
+    # ------------------------------------------------------------------
     # file I/O (paper format)
     # ------------------------------------------------------------------
 
@@ -157,6 +228,8 @@ def parse_logical_dir(directory: str | Path, n_pes: int,
 
     ``pes_per_node`` is inferred from the node columns when omitted.
     """
+    if n_pes < 1:
+        raise ValueError(f"n_pes must be >= 1, got {n_pes}")
     directory = Path(directory)
     rows: list[tuple[int, int, int, int, int]] = []
     max_node = 0
@@ -165,13 +238,29 @@ def parse_logical_dir(directory: str | Path, n_pes: int,
         if not path.exists():
             raise FileNotFoundError(f"missing logical trace file {path}")
         with path.open() as f:
-            for line in f:
+            for lineno, line in enumerate(f, start=1):
                 line = line.strip()
                 if not line or line.startswith("#"):
                     continue
-                parts = [int(x) for x in line.split(",")]
+                try:
+                    parts = [int(x) for x in line.split(",")]
+                except ValueError:
+                    raise ValueError(
+                        f"{path}:{lineno}: malformed logical trace line: "
+                        f"{line!r} (expected 5 comma-separated integers)"
+                    ) from None
                 if len(parts) != 5:
-                    raise ValueError(f"malformed logical trace line: {line!r}")
+                    raise ValueError(
+                        f"{path}:{lineno}: malformed logical trace line: "
+                        f"{line!r} (expected 5 fields, got {len(parts)})"
+                    )
+                for label, pe in (("source", parts[1]),
+                                  ("destination", parts[3])):
+                    if not 0 <= pe < n_pes:
+                        raise ValueError(
+                            f"{path}:{lineno}: {label} PE {pe} out of range "
+                            f"for n_pes={n_pes}"
+                        )
                 rows.append(tuple(parts))  # type: ignore[arg-type]
                 max_node = max(max_node, parts[0], parts[2])
     nodes = max_node + 1

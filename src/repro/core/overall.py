@@ -69,6 +69,38 @@ class OverallProfile:
         return np.array([self.relative(pe) for pe in range(self.n_pes)])
 
     # ------------------------------------------------------------------
+    # archive adapters (.aptrc columnar store)
+    # ------------------------------------------------------------------
+
+    def to_columns(self) -> tuple[dict[str, np.ndarray], dict]:
+        """Columnar form for the ``.aptrc`` store: (columns, attrs).
+
+        One row per PE; ``t_comm`` stays derived (total − main − proc),
+        so the stored columns are exactly the measured quantities.
+        """
+        columns = {
+            "t_main": self.t_main.copy(),
+            "t_proc": self.t_proc.copy(),
+            "t_total": self.t_total.copy(),
+        }
+        return columns, {"n_pes": self.n_pes}
+
+    @classmethod
+    def from_columns(cls, columns: dict, attrs: dict) -> "OverallProfile":
+        """Rebuild a profile from archive columns (inverse of to_columns)."""
+        n_pes = int(attrs["n_pes"])
+        prof = cls(n_pes)
+        for name in ("t_main", "t_proc", "t_total"):
+            col = np.asarray(columns[name], dtype=np.int64)
+            if len(col) != n_pes:
+                raise ValueError(
+                    f"archived overall column {name!r} has {len(col)} "
+                    f"entries for n_pes={n_pes}"
+                )
+            setattr(prof, name, col.copy())
+        return prof
+
+    # ------------------------------------------------------------------
 
     def write(self, directory: str | Path) -> Path:
         """Write ``overall.txt``; returns its path."""

@@ -99,6 +99,69 @@ class PAPITrace:
         return out
 
     # ------------------------------------------------------------------
+    # archive adapters (.aptrc columnar store)
+    # ------------------------------------------------------------------
+
+    def to_columns(self) -> tuple[dict[str, np.ndarray], dict]:
+        """Columnar form for the ``.aptrc`` store: (columns, attrs).
+
+        One row per sampled send, PE-major in recording order; the event
+        values become one column each (``ev_0`` …).  The small per-PE
+        region totals travel in the attrs.
+        """
+        rows = [r for pe_rows in self._rows for r in pe_rows]
+        ne = len(self.events)
+        columns = {
+            "src": np.asarray([r.src_pe for r in rows], dtype=np.int64),
+            "dst": np.asarray([r.dst_pe for r in rows], dtype=np.int64),
+            "pkt_size": np.asarray([r.pkt_size for r in rows], dtype=np.int64),
+            "mailbox": np.asarray([r.mailbox for r in rows], dtype=np.int64),
+            "num_sends": np.asarray([r.num_sends for r in rows], dtype=np.int64),
+        }
+        for i in range(ne):
+            columns[f"ev_{i}"] = np.asarray(
+                [r.values[i] for r in rows], dtype=np.int64
+            )
+        attrs = {
+            "nodes": self.spec.nodes,
+            "pes_per_node": self.spec.pes_per_node,
+            "machine_name": self.spec.name,
+            "events": list(self.events),
+            "main_totals": self.region_totals["MAIN"].tolist(),
+            "proc_totals": self.region_totals["PROC"].tolist(),
+        }
+        return columns, attrs
+
+    @classmethod
+    def from_columns(cls, columns: dict, attrs: dict) -> "PAPITrace":
+        """Rebuild a trace from archive columns (inverse of to_columns)."""
+        spec = MachineSpec(
+            nodes=int(attrs["nodes"]),
+            pes_per_node=int(attrs["pes_per_node"]),
+            name=str(attrs.get("machine_name", "simulated-cluster")),
+        )
+        events = tuple(str(e) for e in attrs["events"])
+        trace = cls(spec, events)
+        event_cols = [columns[f"ev_{i}"].tolist() for i in range(len(events))]
+        n_pes = spec.n_pes
+        for i, (src, dst, pkt, mb, ns) in enumerate(zip(
+            columns["src"].tolist(), columns["dst"].tolist(),
+            columns["pkt_size"].tolist(), columns["mailbox"].tolist(),
+            columns["num_sends"].tolist(),
+        )):
+            if not (0 <= src < n_pes and 0 <= dst < n_pes):
+                raise ValueError(
+                    f"archived PAPI row has PE pair ({src}, {dst}) out of "
+                    f"range for n_pes={n_pes}"
+                )
+            trace.record(src, dst, pkt, mb, ns, [col[i] for col in event_cols])
+        for region, key in (("MAIN", "main_totals"), ("PROC", "proc_totals")):
+            totals = attrs.get(key)
+            if totals is not None:
+                trace.region_totals[region] = np.asarray(totals, dtype=np.int64)
+        return trace
+
+    # ------------------------------------------------------------------
 
     def write(self, directory: str | Path) -> list[Path]:
         """Write ``PEi_PAPI.csv`` per PE; returns the paths written."""

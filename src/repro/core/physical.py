@@ -82,6 +82,58 @@ class PhysicalTrace:
         return sum(self._counts.values())
 
     # ------------------------------------------------------------------
+    # archive adapters (.aptrc columnar store)
+    # ------------------------------------------------------------------
+
+    def to_columns(self) -> tuple[dict[str, np.ndarray], dict]:
+        """Columnar form for the ``.aptrc`` store: (columns, attrs).
+
+        ``kind`` is stored as an index into the ``send_types`` attr so
+        the column is pure integers.
+        """
+        keys = sorted(
+            ((SEND_TYPES.index(kind), nb, src, dst), n)
+            for (kind, nb, src, dst), n in self._counts.items()
+        )
+        columns = {
+            "kind": np.asarray([k[0] for k, _ in keys], dtype=np.int64),
+            "size": np.asarray([k[1] for k, _ in keys], dtype=np.int64),
+            "src": np.asarray([k[2] for k, _ in keys], dtype=np.int64),
+            "dst": np.asarray([k[3] for k, _ in keys], dtype=np.int64),
+            "count": np.asarray([n for _, n in keys], dtype=np.int64),
+        }
+        attrs = {"n_pes": self.n_pes, "send_types": list(SEND_TYPES)}
+        return columns, attrs
+
+    @classmethod
+    def from_columns(cls, columns: dict, attrs: dict) -> "PhysicalTrace":
+        """Rebuild a trace from archive columns (inverse of to_columns).
+
+        Duplicate keys from streamed partial aggregates merge by summing.
+        """
+        n_pes = int(attrs["n_pes"])
+        send_types = [str(s) for s in attrs.get("send_types", SEND_TYPES)]
+        trace = cls(n_pes)
+        for code, nb, src, dst, n in zip(
+            columns["kind"].tolist(), columns["size"].tolist(),
+            columns["src"].tolist(), columns["dst"].tolist(),
+            columns["count"].tolist(),
+        ):
+            if not 0 <= code < len(send_types):
+                raise ValueError(
+                    f"archived physical row has send-type code {code} out "
+                    f"of range for send_types={send_types}"
+                )
+            if not (0 <= src < n_pes and 0 <= dst < n_pes):
+                raise ValueError(
+                    f"archived physical row has PE pair ({src}, {dst}) out "
+                    f"of range for n_pes={n_pes}"
+                )
+            key = (send_types[code], nb, src, dst)
+            trace._counts[key] = trace._counts.get(key, 0) + n
+        return trace
+
+    # ------------------------------------------------------------------
     # file I/O (paper format)
     # ------------------------------------------------------------------
 
@@ -106,13 +158,38 @@ def parse_physical_file(path: str | Path, n_pes: int | None = None) -> PhysicalT
     rows: list[tuple[str, int, int, int]] = []
     max_pe = -1
     with path.open() as f:
-        for line in f:
+        for lineno, line in enumerate(f, start=1):
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
-            kind, nbytes, src, dst = line.split(",")
-            rows.append((kind, int(nbytes), int(src), int(dst)))
-            max_pe = max(max_pe, int(src), int(dst))
+            fields = line.split(",")
+            if len(fields) != 4:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed physical trace line: "
+                    f"{line!r} (expected 4 fields, got {len(fields)})"
+                )
+            kind = fields[0].strip()
+            if kind not in SEND_TYPES:
+                raise ValueError(
+                    f"{path}:{lineno}: unknown physical send type {kind!r} "
+                    f"(expected one of {SEND_TYPES})"
+                )
+            try:
+                nbytes, src, dst = (int(x) for x in fields[1:])
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed physical trace line: "
+                    f"{line!r} (size and PE fields must be integers)"
+                ) from None
+            for label, pe in (("source", src), ("destination", dst)):
+                if pe < 0 or (n_pes is not None and pe >= n_pes):
+                    bound = f"n_pes={n_pes}" if n_pes is not None else "a PE index"
+                    raise ValueError(
+                        f"{path}:{lineno}: {label} PE {pe} out of range "
+                        f"for {bound}"
+                    )
+            rows.append((kind, nbytes, src, dst))
+            max_pe = max(max_pe, src, dst)
     if n_pes is None:
         n_pes = max_pe + 1
     trace = PhysicalTrace(n_pes)

@@ -275,3 +275,23 @@ class ActorProf:
             )
             written["otf"] = write_otf(self.timeline, self.world.spec, directory)
         return written
+
+    def export_archive(self, path: str | Path,
+                       meta: dict | None = None) -> Path:
+        """Write every enabled trace into one ``.aptrc`` archive.
+
+        The compact binary alternative to :meth:`write_traces`; ``meta``
+        entries (app name, scale, …) land in the archive footer.
+        """
+        from repro.core.store import export_run
+
+        full_meta = {"papi_events": list(self.flags.papi_events)}
+        full_meta.update(meta or {})
+        return export_run(
+            path,
+            logical=self.logical,
+            physical=self.physical,
+            papi=self.papi_trace,
+            overall=self.overall,
+            meta=full_meta,
+        )

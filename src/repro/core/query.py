@@ -27,6 +27,16 @@ bytes, ``ops`` is an alias of ``sends`` reading naturally for physical
 traces.  ``kind`` only exists on physical traces (``local_send`` etc.).
 Evaluation works on the aggregated in-memory representation — no row
 expansion, so it is cheap even for billion-send traces.
+
+Queries also run directly against ``.aptrc`` archives without
+materializing a trace object: pass an archive
+:class:`~repro.core.store.archive.Section` and evaluation is vectorized
+over exactly the columns the query references — untouched columns (and
+sections) are never read from disk, which is the point of the columnar
+store::
+
+    with Archive("run.aptrc") as a:
+        run_query(a.section("logical"), "sends where src == 0 group by dst")
 """
 
 from __future__ import annotations
@@ -35,8 +45,11 @@ import operator
 import re
 from dataclasses import dataclass, field as dc_field
 
+import numpy as np
+
 from repro.core.logical import LogicalTrace
 from repro.core.physical import PhysicalTrace
+from repro.core.store.archive import Archive, Section
 
 _METRICS = ("sends", "bytes", "ops")
 _FIELDS = ("src", "dst", "size", "kind", "src_node", "dst_node")
@@ -191,14 +204,84 @@ def _physical_rows(trace: PhysicalTrace):
         }, n, n * nbytes
 
 
-def run_query(trace: LogicalTrace | PhysicalTrace, text: str):
-    """Evaluate ``text`` over a trace.
+def _archive_eval(section: Section, q: Query):
+    """Vectorized evaluation over an archive section.
+
+    Only the columns the query actually references are decoded: the
+    ``count`` column always (it carries the aggregation weights),
+    ``size`` additionally for the ``bytes`` metric, plus whatever the
+    conditions and ``group by`` name.  Node fields are derived from
+    ``src``/``dst`` and the section's ``pes_per_node`` attr.
+    """
+    send_types = [str(s) for s in section.attrs.get("send_types", ())]
+    ppn = section.attrs.get("pes_per_node")
+    stored = set(section.columns) - {"count"}
+    available = set(stored)
+    if ppn:
+        available |= {"src_node", "dst_node"}
+
+    def field_values(name: str) -> np.ndarray:
+        if name not in available:
+            raise QueryError(
+                f"field {name!r} does not exist on this trace "
+                f"(have {sorted(available)})"
+            )
+        if name in ("src_node", "dst_node"):
+            return section.column(name[:3]) // int(ppn)
+        return section.column(name)
+
+    mask: np.ndarray | None = None
+    for cond in q.conditions:
+        lhs = field_values(cond.field)
+        rhs = cond.value
+        if isinstance(rhs, FieldRef):
+            rhs = field_values(rhs.name)
+        elif cond.field == "kind":
+            # compare against the send-type code; unknown names match
+            # no row (so `kind != typo` matches everything, as in-memory)
+            rhs = send_types.index(rhs) if rhs in send_types else -1
+        hit = _OPS[cond.op](lhs, rhs)
+        mask = hit if mask is None else (mask & hit)
+
+    weights = section.column("count")
+    if q.metric == "bytes":
+        weights = weights * section.column("size")
+    if mask is not None:
+        weights = weights[mask]
+
+    if q.group_by is None:
+        return int(weights.sum())
+    keys = field_values(q.group_by)
+    if mask is not None:
+        keys = keys[mask]
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    sums = np.zeros(len(uniq), dtype=np.int64)
+    np.add.at(sums, inverse, weights)
+    if q.group_by == "kind":
+        labels = [send_types[k] if 0 <= k < len(send_types) else int(k)
+                  for k in uniq.tolist()]
+    else:
+        labels = uniq.tolist()
+    ranked = sorted(zip(labels, sums.tolist()),
+                    key=lambda kv: (-kv[1], str(kv[0])))
+    return ranked[: q.top] if q.top is not None else ranked
+
+
+def run_query(trace: LogicalTrace | PhysicalTrace | Section, text: str):
+    """Evaluate ``text`` over a trace (or an archive section).
 
     Returns an int for plain aggregations, or a list of
     ``(group_value, amount)`` pairs sorted by amount (descending) for
     ``group by`` queries.
     """
     q = parse(text)
+    if isinstance(trace, Section):
+        return _archive_eval(trace, q)
+    if isinstance(trace, Archive):
+        raise QueryError(
+            "pass a section, e.g. archive.section('logical') or "
+            "archive.section('physical')"
+        )
     if isinstance(trace, LogicalTrace):
         rows = _logical_rows(trace)
     elif isinstance(trace, PhysicalTrace):

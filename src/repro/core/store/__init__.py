@@ -1,0 +1,49 @@
+""":mod:`repro.core.store` — the persistent trace store.
+
+The paper's text formats (``PEi_send.csv``, ``physical.txt``, …) expand
+one line per send, so large runs emit millions of rows that must be fully
+re-parsed for every query, diff, or figure — the trace-size problem the
+paper's Section VI flags.  This package provides the compact alternative:
+
+* :mod:`~repro.core.store.codec` — per-column delta + varint encoding
+  with optional zlib compression,
+* :mod:`~repro.core.store.archive` — the single-file ``.aptrc`` binary
+  columnar archive (header, sections, footer index) with lazy per-column
+  reads,
+* :mod:`~repro.core.store.writer` — streaming :class:`ArchiveWriter` and
+  the :class:`TraceArchiver` profiler decorator that spills incrementally,
+* :mod:`~repro.core.store.registry` — the on-disk :class:`RunRegistry`
+  behind ``actorprof runs list / show / rm``.
+"""
+
+from repro.core.store.archive import (
+    Archive,
+    RunTraces,
+    Section,
+    load_logical,
+    load_overall,
+    load_papi,
+    load_physical,
+    load_run,
+)
+from repro.core.store.codec import decode_column, encode_column
+from repro.core.store.registry import RunInfo, RunRegistry
+from repro.core.store.writer import ArchiveWriter, TraceArchiver, export_run
+
+__all__ = [
+    "Archive",
+    "ArchiveWriter",
+    "RunInfo",
+    "RunRegistry",
+    "RunTraces",
+    "Section",
+    "TraceArchiver",
+    "decode_column",
+    "encode_column",
+    "export_run",
+    "load_logical",
+    "load_overall",
+    "load_papi",
+    "load_physical",
+    "load_run",
+]

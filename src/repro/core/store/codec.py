@@ -1,0 +1,151 @@
+"""Column codec for ``.aptrc`` archives: delta + varint (+ zlib).
+
+Trace columns are integer sequences with strong local structure — sorted
+source PEs, repeated packet sizes, monotone cumulative counters — so the
+classic columnar recipe applies:
+
+1. **delta**: store ``v[0], v[1]-v[0], v[2]-v[1], …`` (turns sorted or
+   slowly-varying columns into tiny values),
+2. **zigzag**: fold negative deltas into small unsigned ints
+   (``0,-1,1,-2,… → 0,1,2,3,…``),
+3. **varint**: LEB128 — 7 value bits per byte, high bit = continuation,
+4. **zlib** (optional): only kept when it actually shrinks the payload.
+
+The encoding actually applied is returned as a ``+``-joined token string
+(e.g. ``"delta+varint+zlib"``) and stored in the archive footer, so the
+decoder never guesses.  All values must fit in a signed 64-bit integer,
+matching the ``int64`` trace matrices used everywhere else in the repo.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+#: Tokens that may appear in an encoding string, in application order.
+TOKENS = ("delta", "varint", "zlib")
+
+#: Compression level used when zlib is applied (6 = zlib default).
+ZLIB_LEVEL = 6
+
+
+class CodecError(ValueError):
+    """Raised when a column payload cannot be decoded."""
+
+
+# ----------------------------------------------------------------------
+# zigzag
+# ----------------------------------------------------------------------
+
+def zigzag(values: np.ndarray) -> np.ndarray:
+    """Map signed int64 values onto unsigned ints (as uint64)."""
+    v = values.astype(np.int64, copy=False)
+    return ((v << np.int64(1)) ^ (v >> np.int64(63))).astype(np.uint64)
+
+
+def unzigzag(values: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`zigzag`."""
+    u = values.astype(np.uint64, copy=False)
+    return ((u >> np.uint64(1)) ^ -(u & np.uint64(1)).astype(np.int64).astype(np.uint64)).astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# varint (LEB128, unsigned)
+# ----------------------------------------------------------------------
+
+def encode_uvarints(values: np.ndarray) -> bytes:
+    """Encode an array of unsigned ints as concatenated LEB128 varints."""
+    out = bytearray()
+    append = out.append
+    for v in values.tolist():
+        while v >= 0x80:
+            append((v & 0x7F) | 0x80)
+            v >>= 7
+        append(v)
+    return bytes(out)
+
+
+def decode_uvarints(data: bytes, count: int) -> np.ndarray:
+    """Decode ``count`` LEB128 varints from ``data`` (uint64 array)."""
+    out = np.empty(count, dtype=np.uint64)
+    pos = 0
+    end = len(data)
+    for i in range(count):
+        value = 0
+        shift = 0
+        while True:
+            if pos >= end:
+                raise CodecError(
+                    f"varint stream truncated at value {i} of {count}"
+                )
+            byte = data[pos]
+            pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+            if shift > 63:
+                raise CodecError(f"varint at value {i} overflows 64 bits")
+        if value > 0xFFFFFFFFFFFFFFFF:
+            raise CodecError(f"varint at value {i} overflows 64 bits")
+        out[i] = value
+    if pos != end:
+        raise CodecError(
+            f"varint stream has {end - pos} trailing bytes after "
+            f"{count} values"
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# column encode / decode
+# ----------------------------------------------------------------------
+
+def encode_column(
+    values, *, delta: bool = True, compress: bool = True
+) -> tuple[bytes, str]:
+    """Encode one integer column; returns ``(payload, encoding)``.
+
+    ``delta`` applies first-difference transformation before zigzag +
+    varint; ``compress`` additionally zlib-compresses the varint stream
+    when (and only when) that makes it smaller.
+    """
+    arr = np.asarray(values, dtype=np.int64).ravel()
+    tokens = []
+    if delta and len(arr) > 1:
+        work = np.empty_like(arr)
+        work[0] = arr[0]
+        np.subtract(arr[1:], arr[:-1], out=work[1:])
+        tokens.append("delta")
+    else:
+        work = arr
+        if delta:
+            tokens.append("delta")  # trivially true for 0/1 values
+    payload = encode_uvarints(zigzag(work))
+    tokens.append("varint")
+    if compress and len(payload) > 32:
+        squeezed = zlib.compress(payload, ZLIB_LEVEL)
+        if len(squeezed) < len(payload):
+            payload = squeezed
+            tokens.append("zlib")
+    return payload, "+".join(tokens)
+
+
+def decode_column(payload: bytes, encoding: str, count: int) -> np.ndarray:
+    """Decode a column payload back into an int64 array of ``count``."""
+    tokens = encoding.split("+") if encoding else []
+    unknown = set(tokens) - set(TOKENS)
+    if unknown:
+        raise CodecError(f"unknown encoding tokens {sorted(unknown)!r}")
+    if "varint" not in tokens:
+        raise CodecError(f"unsupported encoding {encoding!r}: missing varint")
+    if "zlib" in tokens:
+        try:
+            payload = zlib.decompress(payload)
+        except zlib.error as exc:
+            raise CodecError(f"zlib payload corrupt: {exc}") from exc
+    values = unzigzag(decode_uvarints(payload, count))
+    if "delta" in tokens and count > 1:
+        values = np.cumsum(values, dtype=np.int64)
+    return values.astype(np.int64, copy=False)

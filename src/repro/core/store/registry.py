@@ -1,0 +1,194 @@
+"""On-disk registry of profiled runs (``actorprof runs …``).
+
+Layout::
+
+    <root>/
+      manifest.json        {"version": 1, "runs": {run_id: entry, …}}
+      <run_id>.aptrc       one archive per registered run
+
+Each manifest entry records the archive's relative filename, its size,
+a creation timestamp, and a copy of the archive's footer metadata so
+``actorprof runs list`` never has to open the archives themselves.
+Manifest writes are atomic (temp file + rename), so a crashed command
+never leaves a half-written manifest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.core.store.archive import Archive, ArchiveError
+
+MANIFEST = "manifest.json"
+MANIFEST_VERSION = 1
+
+_ID_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+class RegistryError(ValueError):
+    """Raised for unknown run ids or a corrupt registry."""
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """One registered run."""
+
+    run_id: str
+    path: Path
+    created: str
+    size_bytes: int
+    meta: dict
+
+    def describe(self) -> str:
+        """One-line summary used by ``actorprof runs list``."""
+        m = self.meta
+        shape = ""
+        if "nodes" in m and "pes_per_node" in m:
+            shape = f"{m['nodes']}x{m['pes_per_node']} PEs"
+        app = m.get("app", "")
+        bits = [b for b in (app, shape, f"{self.size_bytes:,} B",
+                            self.created) if b]
+        return f"{self.run_id:<24} " + "  ".join(bits)
+
+
+class RunRegistry:
+    """A directory of ``.aptrc`` archives indexed by a manifest."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # -- manifest ---------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST
+
+    def _load(self) -> dict:
+        if not self.manifest_path.exists():
+            return {"version": MANIFEST_VERSION, "runs": {}}
+        try:
+            data = json.loads(self.manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RegistryError(
+                f"corrupt registry manifest {self.manifest_path}: {exc}"
+            ) from exc
+        if data.get("version") != MANIFEST_VERSION:
+            raise RegistryError(
+                f"unsupported manifest version {data.get('version')!r} "
+                f"in {self.manifest_path}"
+            )
+        return data
+
+    def _save(self, data: dict) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, self.manifest_path)
+
+    def _info(self, run_id: str, entry: dict) -> RunInfo:
+        return RunInfo(
+            run_id=run_id,
+            path=self.root / entry["file"],
+            created=entry.get("created", ""),
+            size_bytes=int(entry.get("size_bytes", 0)),
+            meta=entry.get("meta", {}),
+        )
+
+    # -- operations -------------------------------------------------------
+
+    def add(self, archive_path: str | Path, run_id: str | None = None,
+            move: bool = False) -> RunInfo:
+        """Register an archive (copied — or moved — into the registry).
+
+        ``run_id`` defaults to the archive's filename stem, uniquified
+        with a numeric suffix on collision.
+        """
+        archive_path = Path(archive_path)
+        try:
+            with Archive(archive_path) as archive:
+                meta = dict(archive.meta)
+        except (OSError, ArchiveError) as exc:
+            raise RegistryError(f"cannot register {archive_path}: {exc}") from exc
+        data = self._load()
+        runs = data["runs"]
+        base = _ID_RE.sub("-", run_id or archive_path.stem).strip("-") or "run"
+        if run_id is not None and base in runs:
+            raise RegistryError(f"run id {base!r} already registered")
+        candidate, n = base, 1
+        while candidate in runs:
+            n += 1
+            candidate = f"{base}-{n}"
+        run_id = candidate
+        self.root.mkdir(parents=True, exist_ok=True)
+        dest = self.root / f"{run_id}.aptrc"
+        if move:
+            shutil.move(str(archive_path), dest)
+        else:
+            shutil.copyfile(archive_path, dest)
+        entry = {
+            "file": dest.name,
+            "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "size_bytes": dest.stat().st_size,
+            "meta": meta,
+        }
+        runs[run_id] = entry
+        self._save(data)
+        return self._info(run_id, entry)
+
+    def list(self) -> list[RunInfo]:
+        """All registered runs, sorted by id."""
+        data = self._load()
+        return [self._info(rid, e) for rid, e in sorted(data["runs"].items())]
+
+    def get(self, run_id: str) -> RunInfo:
+        """Look up one run by exact id."""
+        data = self._load()
+        try:
+            return self._info(run_id, data["runs"][run_id])
+        except KeyError:
+            raise RegistryError(
+                f"unknown run {run_id!r} (have "
+                f"{sorted(data['runs']) or 'no runs'})"
+            ) from None
+
+    def resolve(self, ref: str) -> RunInfo:
+        """Look up a run by exact id or unique prefix."""
+        data = self._load()
+        if ref in data["runs"]:
+            return self._info(ref, data["runs"][ref])
+        matches = [rid for rid in data["runs"] if rid.startswith(ref)]
+        if len(matches) == 1:
+            return self._info(matches[0], data["runs"][matches[0]])
+        if not matches:
+            raise RegistryError(
+                f"unknown run {ref!r} (have {sorted(data['runs']) or 'no runs'})"
+            )
+        raise RegistryError(f"ambiguous run {ref!r}: matches {sorted(matches)}")
+
+    def open(self, ref: str) -> Archive:
+        """Open the archive of one registered run."""
+        return Archive(self.resolve(ref).path)
+
+    def remove(self, ref: str) -> RunInfo:
+        """Delete a run's archive and drop it from the manifest."""
+        info = self.resolve(ref)
+        data = self._load()
+        data["runs"].pop(info.run_id, None)
+        self._save(data)
+        if info.path.exists():
+            info.path.unlink()
+        return info
+
+
+def default_registry_root() -> Path:
+    """``$ACTORPROF_RUNS`` or ``~/.actorprof/runs``."""
+    env = os.environ.get("ACTORPROF_RUNS")
+    if env:
+        return Path(env)
+    return Path.home() / ".actorprof" / "runs"

@@ -1,0 +1,419 @@
+"""Writing ``.aptrc`` archives: one-shot export and streaming spill.
+
+:class:`ArchiveWriter` is the low-level append-only writer: sections are
+declared with a fixed column set, then filled with one or more *chunks*
+(each chunk is encoded and flushed to disk immediately), and the footer
+index is written on :meth:`~ArchiveWriter.close`.
+
+:func:`export_run` is the one-shot path: hand it in-memory trace objects
+and it writes each as a single-chunk section.
+
+:class:`TraceArchiver` is the streaming path the paper's Section VI
+trace-size problem calls for: it decorates a profiler exactly like
+:class:`~repro.core.live.LiveMonitor` does, accumulates *partial*
+aggregates of the logical and physical traces, and spills them to the
+archive every ``spill_every`` events — so a billion-send run never holds
+the full trace in memory.  Readers merge the partial aggregates back
+together (duplicate keys sum), producing traces identical to in-memory
+recording.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.conveyors.hooks import SEND_TYPES
+from repro.core.store.archive import (
+    FORMAT_VERSION,
+    MAGIC,
+    TAIL_MAGIC,
+    TRAILER,
+    ArchiveError,
+)
+from repro.core.store.codec import encode_column
+
+
+class SectionWriter:
+    """Open section of an :class:`ArchiveWriter`; accepts chunks."""
+
+    def __init__(self, writer: "ArchiveWriter", name: str,
+                 columns: tuple[str, ...], attrs: dict | None) -> None:
+        self._writer = writer
+        self.name = name
+        self.columns = columns
+        self.attrs = dict(attrs or {})
+        self.rows = 0
+        self._chunks: dict[str, list[list]] = {c: [] for c in columns}
+        self._closed = False
+
+    def write_chunk(self, columns: dict) -> int:
+        """Encode + flush one chunk; returns the chunk's row count.
+
+        Every declared column must be present and all columns must have
+        the same length.  Empty chunks are ignored.
+        """
+        if self._closed:
+            raise ArchiveError(f"section {self.name!r} already ended")
+        if set(columns) != set(self.columns):
+            raise ArchiveError(
+                f"section {self.name!r} expects columns {self.columns}, "
+                f"got {tuple(sorted(columns))}"
+            )
+        arrays = {c: np.asarray(columns[c], dtype=np.int64).ravel()
+                  for c in self.columns}
+        counts = {len(a) for a in arrays.values()}
+        if len(counts) > 1:
+            raise ArchiveError(
+                f"section {self.name!r} chunk has ragged columns: "
+                + ", ".join(f"{c}={len(a)}" for c, a in arrays.items())
+            )
+        n = counts.pop()
+        if n == 0:
+            return 0
+        for name in self.columns:
+            payload, encoding = encode_column(arrays[name])
+            offset = self._writer._append(payload)
+            self._chunks[name].append([offset, len(payload), encoding, n])
+        self.rows += n
+        return n
+
+    def end(self, attrs: dict | None = None) -> None:
+        """Finish the section, optionally merging final ``attrs``."""
+        if self._closed:
+            return
+        if attrs:
+            self.attrs.update(attrs)
+        self._closed = True
+        self._writer._finish_section(self)
+
+    def _index(self) -> dict:
+        return {
+            "attrs": self.attrs,
+            "rows": self.rows,
+            "columns": self._chunks,
+        }
+
+
+class ArchiveWriter:
+    """Streaming writer for a ``.aptrc`` file (append-only + footer)."""
+
+    def __init__(self, path: str | Path, meta: dict | None = None) -> None:
+        self.path = Path(path)
+        self.meta = dict(meta or {})
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = self.path.open("wb")
+        self._file.write(MAGIC)
+        self._pos = len(MAGIC)
+        self._open: dict[str, SectionWriter] = {}
+        self._done: dict[str, SectionWriter] = {}
+        self._closed = False
+
+    # -- context manager -------------------------------------------------
+
+    def __enter__(self) -> "ArchiveWriter":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self._file.close()
+
+    # -- sections --------------------------------------------------------
+
+    def begin_section(self, name: str, columns,
+                      attrs: dict | None = None) -> SectionWriter:
+        """Open a section with a fixed column set; chunks follow."""
+        if self._closed:
+            raise ArchiveError("archive already closed")
+        if name in self._open or name in self._done:
+            raise ArchiveError(f"duplicate section {name!r}")
+        section = SectionWriter(self, name, tuple(columns), attrs)
+        self._open[name] = section
+        return section
+
+    def add_section(self, name: str, columns: dict,
+                    attrs: dict | None = None) -> SectionWriter:
+        """Write a whole section from in-memory columns (one chunk)."""
+        section = self.begin_section(name, tuple(columns), attrs)
+        section.write_chunk(columns)
+        section.end()
+        return section
+
+    def _append(self, payload: bytes) -> int:
+        offset = self._pos
+        self._file.write(payload)
+        self._pos += len(payload)
+        return offset
+
+    def _finish_section(self, section: SectionWriter) -> None:
+        self._open.pop(section.name, None)
+        self._done[section.name] = section
+
+    # -- finalization ----------------------------------------------------
+
+    def close(self) -> Path:
+        """End open sections, write the footer index, and flush."""
+        if self._closed:
+            return self.path
+        for section in list(self._open.values()):
+            section.end()
+        footer = {
+            "version": FORMAT_VERSION,
+            "meta": self.meta,
+            "sections": {n: s._index() for n, s in self._done.items()},
+        }
+        payload = zlib.compress(
+            json.dumps(footer, separators=(",", ":")).encode("utf-8"), 6
+        )
+        offset = self._append(payload)
+        self._file.write(TRAILER.pack(offset, len(payload)))
+        self._file.write(TAIL_MAGIC)
+        self._file.close()
+        self._closed = True
+        return self.path
+
+
+# ----------------------------------------------------------------------
+# one-shot export
+# ----------------------------------------------------------------------
+
+def _base_meta(logical=None, physical=None, papi=None, overall=None) -> dict:
+    """Machine metadata inferred from whichever traces are present."""
+    spec = None
+    if logical is not None:
+        spec = logical.spec
+    elif papi is not None:
+        spec = papi.spec
+    if spec is not None:
+        return {
+            "nodes": spec.nodes,
+            "pes_per_node": spec.pes_per_node,
+            "machine_name": spec.name,
+            "n_pes": spec.n_pes,
+        }
+    n_pes = None
+    if physical is not None:
+        n_pes = physical.n_pes
+    elif overall is not None:
+        n_pes = overall.n_pes
+    if n_pes is None:
+        return {}
+    # no node structure known: describe the allocation as one flat node
+    return {"nodes": 1, "pes_per_node": n_pes, "n_pes": n_pes}
+
+
+def export_run(
+    path: str | Path,
+    *,
+    logical=None,
+    physical=None,
+    papi=None,
+    overall=None,
+    meta: dict | None = None,
+) -> Path:
+    """Write the given traces into a single ``.aptrc`` archive.
+
+    Any subset of the four trace kinds may be supplied; ``meta`` entries
+    override the machine metadata inferred from the traces.
+    """
+    if logical is None and physical is None and papi is None and overall is None:
+        raise ArchiveError("export_run needs at least one trace")
+    full_meta = _base_meta(logical, physical, papi, overall)
+    full_meta.update(meta or {})
+    with ArchiveWriter(path, meta=full_meta) as writer:
+        for name, trace in (("logical", logical), ("physical", physical),
+                            ("papi", papi), ("overall", overall)):
+            if trace is not None:
+                columns, attrs = trace.to_columns()
+                writer.add_section(name, columns, attrs)
+        return writer.path
+
+
+# ----------------------------------------------------------------------
+# streaming spill (profiler decorator)
+# ----------------------------------------------------------------------
+
+class TraceArchiver:
+    """Spill logical + physical traces to an archive incrementally.
+
+    Decorates an inner profiler (or ``None``) exactly like
+    :class:`~repro.core.live.LiveMonitor`::
+
+        arch = TraceArchiver("run.aptrc", spill_every=100_000)
+        run_spmd(program, machine=spec, profiler=arch)
+        arch.close()                       # finalizes run.aptrc
+
+    Between spills only a *partial* aggregate (one dict entry per
+    distinct route seen since the last spill) is held in memory; every
+    ``spill_every`` recorded events it is encoded, appended to the
+    archive, and dropped.  If the inner profiler recorded PAPI or
+    overall data, those (small) traces are added at :meth:`close`.
+    """
+
+    LOGICAL_COLUMNS = ("src", "dst", "size", "count")
+    PHYSICAL_COLUMNS = ("kind", "size", "src", "dst", "count")
+
+    def __init__(self, path: str | Path, inner=None,
+                 spill_every: int = 250_000, meta: dict | None = None) -> None:
+        if spill_every < 1:
+            raise ValueError("spill_every must be >= 1")
+        self.inner = inner
+        self.spill_every = spill_every
+        self._path = Path(path)
+        self._meta = dict(meta or {})
+        self._writer: ArchiveWriter | None = None
+        self._hooks = None
+        self._tracer = None
+        self._spec = None
+        self._logical: dict[tuple[int, int, int], int] = {}
+        self._physical: dict[tuple[int, int, int, int], int] = {}
+        self._ticks: list[int] = []
+        self._pending = 0
+        self.spills = 0
+
+    # -- profiler protocol -----------------------------------------------
+
+    def attach(self, world):
+        """Wire into the world; returns (hooks, tracer) like ActorProf."""
+        if self._writer is not None:
+            raise ArchiveError("a TraceArchiver archives exactly one run")
+        if self.inner is not None:
+            self._hooks, self._tracer = self.inner.attach(world)
+        self._spec = world.spec
+        self._ticks = [0] * world.spec.n_pes
+        meta = {
+            "nodes": world.spec.nodes,
+            "pes_per_node": world.spec.pes_per_node,
+            "machine_name": world.spec.name,
+            "n_pes": world.spec.n_pes,
+        }
+        meta.update(self._meta)
+        self._writer = ArchiveWriter(self._path, meta=meta)
+        self._log_section = self._writer.begin_section(
+            "logical", self.LOGICAL_COLUMNS
+        )
+        self._phys_section = self._writer.begin_section(
+            "physical", self.PHYSICAL_COLUMNS,
+            attrs={"n_pes": world.spec.n_pes, "send_types": list(SEND_TYPES)},
+        )
+        return self, self
+
+    # -- spilling ----------------------------------------------------------
+
+    def _maybe_spill(self) -> None:
+        if self._pending >= self.spill_every:
+            self.spill()
+
+    def spill(self) -> None:
+        """Flush the current partial aggregates to the archive."""
+        if self._writer is None:
+            raise ArchiveError("TraceArchiver is not attached to a run")
+        if self._logical:
+            keys = sorted(self._logical)
+            self._log_section.write_chunk({
+                "src": [k[0] for k in keys],
+                "dst": [k[1] for k in keys],
+                "size": [k[2] for k in keys],
+                "count": [self._logical[k] for k in keys],
+            })
+            self._logical.clear()
+        if self._physical:
+            keys = sorted(self._physical)
+            self._phys_section.write_chunk({
+                "kind": [k[0] for k in keys],
+                "size": [k[1] for k in keys],
+                "src": [k[2] for k in keys],
+                "dst": [k[3] for k in keys],
+                "count": [self._physical[k] for k in keys],
+            })
+            self._physical.clear()
+        self._pending = 0
+        self.spills += 1
+
+    def close(self) -> Path:
+        """Spill the remainder, add inner PAPI/overall traces, finalize."""
+        if self._writer is None:
+            raise ArchiveError("TraceArchiver is not attached to a run")
+        self.spill()
+        self._log_section.end(attrs={
+            "nodes": self._spec.nodes,
+            "pes_per_node": self._spec.pes_per_node,
+            "machine_name": self._spec.name,
+            "sample_interval": 1,
+            "ticks": list(self._ticks),
+        })
+        self._phys_section.end()
+        papi = getattr(self.inner, "papi_trace", None)
+        if papi is not None:
+            columns, attrs = papi.to_columns()
+            self._writer.add_section("papi", columns, attrs)
+        overall = getattr(self.inner, "overall", None)
+        if overall is not None:
+            columns, attrs = overall.to_columns()
+            self._writer.add_section("overall", columns, attrs)
+        return self._writer.close()
+
+    # -- RuntimeHooks (forwarding + accumulation) --------------------------
+
+    def finish_start(self, pe: int) -> None:
+        if self._hooks is not None:
+            self._hooks.finish_start(pe)
+
+    def finish_end(self, pe: int) -> None:
+        if self._hooks is not None:
+            self._hooks.finish_end(pe)
+
+    def main_enter(self, pe: int) -> None:
+        if self._hooks is not None:
+            self._hooks.main_enter(pe)
+
+    def main_exit(self, pe: int) -> None:
+        if self._hooks is not None:
+            self._hooks.main_exit(pe)
+
+    def proc_enter(self, pe: int, mailbox: int) -> None:
+        if self._hooks is not None:
+            self._hooks.proc_enter(pe, mailbox)
+
+    def proc_exit(self, pe: int, mailbox: int, n_items: int) -> None:
+        if self._hooks is not None:
+            self._hooks.proc_exit(pe, mailbox, n_items)
+
+    def send(self, pe: int, mailbox: int, dst: int, nbytes: int) -> None:
+        self._ticks[pe] += 1
+        key = (pe, dst, nbytes)
+        self._logical[key] = self._logical.get(key, 0) + 1
+        self._pending += 1
+        if self._hooks is not None:
+            self._hooks.send(pe, mailbox, dst, nbytes)
+        self._maybe_spill()
+
+    def send_batch(self, pe: int, mailbox: int, dsts, nbytes: int) -> None:
+        dsts = np.asarray(dsts)
+        self._ticks[pe] += len(dsts)
+        uniq, counts = np.unique(dsts, return_counts=True)
+        log = self._logical
+        for dst, cnt in zip(uniq.tolist(), counts.tolist()):
+            key = (pe, int(dst), nbytes)
+            log[key] = log.get(key, 0) + int(cnt)
+        self._pending += len(dsts)
+        if self._hooks is not None:
+            self._hooks.send_batch(pe, mailbox, dsts, nbytes)
+        self._maybe_spill()
+
+    # -- Conveyors TraceSink ----------------------------------------------
+
+    def record(self, send_type: str, nbytes: int, src_pe: int, dst_pe: int,
+               time: int) -> None:
+        kind = SEND_TYPES.index(send_type)
+        key = (kind, nbytes, src_pe, dst_pe)
+        self._physical[key] = self._physical.get(key, 0) + 1
+        self._pending += 1
+        if self._tracer is not None:
+            self._tracer.record(send_type, nbytes, src_pe, dst_pe, time)
+        self._maybe_spill()

@@ -87,3 +87,36 @@ def test_parse_malformed_line_raises(tmp_path):
     (tmp_path / "PE0_send.csv").write_text("1,2,3\n")
     with pytest.raises(ValueError):
         parse_logical_dir(tmp_path, 1)
+
+
+def test_parse_error_reports_file_and_line(tmp_path):
+    (tmp_path / "PE0_send.csv").write_text("# header\n0,0,0,0,8\n0,zero,0,0,8\n")
+    with pytest.raises(ValueError, match=r"PE0_send\.csv:3: malformed"):
+        parse_logical_dir(tmp_path, 1)
+
+
+def test_parse_wrong_field_count_reports_line(tmp_path):
+    (tmp_path / "PE0_send.csv").write_text("0,0,0,0,8,9\n")
+    with pytest.raises(ValueError, match=r":1: .*expected 5 fields, got 6"):
+        parse_logical_dir(tmp_path, 1)
+
+
+def test_parse_rejects_out_of_range_source_pe(tmp_path):
+    (tmp_path / "PE0_send.csv").write_text("0,7,0,0,8\n")
+    (tmp_path / "PE1_send.csv").write_text("")
+    with pytest.raises(ValueError,
+                       match=r":1: source PE 7 out of range for n_pes=2"):
+        parse_logical_dir(tmp_path, 2)
+
+
+def test_parse_rejects_out_of_range_destination_pe(tmp_path):
+    (tmp_path / "PE0_send.csv").write_text("0,0,1,-1,8\n")
+    (tmp_path / "PE1_send.csv").write_text("")
+    with pytest.raises(ValueError,
+                       match=r"destination PE -1 out of range for n_pes=2"):
+        parse_logical_dir(tmp_path, 2)
+
+
+def test_parse_requires_positive_n_pes(tmp_path):
+    with pytest.raises(ValueError, match="n_pes"):
+        parse_logical_dir(tmp_path, 0)

@@ -71,3 +71,36 @@ def test_parse_infers_n_pes(tmp_path):
     make_trace().write(tmp_path)
     parsed = parse_physical_file(tmp_path)
     assert parsed.n_pes == 4
+
+
+def test_parse_error_reports_file_and_line(tmp_path):
+    (tmp_path / "physical.txt").write_text(
+        "# header\nlocal_send,8,0,1\nlocal_send,eight,0,1\n")
+    with pytest.raises(ValueError, match=r"physical\.txt:3: malformed"):
+        parse_physical_file(tmp_path, 4)
+
+
+def test_parse_unknown_send_type_reports_line(tmp_path):
+    (tmp_path / "physical.txt").write_text("teleport,8,0,1\n")
+    with pytest.raises(ValueError,
+                       match=r":1: unknown physical send type 'teleport'"):
+        parse_physical_file(tmp_path, 4)
+
+
+def test_parse_wrong_field_count_reports_line(tmp_path):
+    (tmp_path / "physical.txt").write_text("local_send,8,0\n")
+    with pytest.raises(ValueError, match=r":1: .*expected 4 fields, got 3"):
+        parse_physical_file(tmp_path, 4)
+
+
+def test_parse_rejects_out_of_range_pe(tmp_path):
+    (tmp_path / "physical.txt").write_text("local_send,8,0,9\n")
+    with pytest.raises(ValueError,
+                       match=r":1: destination PE 9 out of range for n_pes=4"):
+        parse_physical_file(tmp_path, 4)
+
+
+def test_parse_rejects_negative_pe_even_without_n_pes(tmp_path):
+    (tmp_path / "physical.txt").write_text("local_send,8,-2,1\n")
+    with pytest.raises(ValueError, match=r"source PE -2 out of range"):
+        parse_physical_file(tmp_path)

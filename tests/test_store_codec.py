@@ -1,0 +1,121 @@
+"""Tests for the .aptrc column codec (delta + varint + zlib)."""
+
+import numpy as np
+import pytest
+
+from repro.core.store.codec import (
+    CodecError,
+    decode_column,
+    decode_uvarints,
+    encode_column,
+    encode_uvarints,
+    unzigzag,
+    zigzag,
+)
+
+
+def roundtrip(values, **kwargs):
+    payload, encoding = encode_column(values, **kwargs)
+    out = decode_column(payload, encoding, len(np.ravel(values)))
+    return payload, encoding, out
+
+
+def test_zigzag_roundtrip_extremes():
+    vals = np.array([0, -1, 1, -2, 2, 2**62, -(2**62), 2**63 - 1, -(2**63)],
+                    dtype=np.int64)
+    assert (unzigzag(zigzag(vals)) == vals).all()
+
+
+def test_zigzag_orders_small_magnitudes_first():
+    z = zigzag(np.array([0, -1, 1, -2, 2], dtype=np.int64))
+    assert z.tolist() == [0, 1, 2, 3, 4]
+
+
+def test_uvarint_roundtrip():
+    vals = np.array([0, 1, 127, 128, 300, 2**32, 2**64 - 1], dtype=np.uint64)
+    data = encode_uvarints(vals)
+    assert (decode_uvarints(data, len(vals)) == vals).all()
+
+
+def test_uvarint_small_values_take_one_byte():
+    assert len(encode_uvarints(np.arange(10, dtype=np.uint64))) == 10
+
+
+def test_uvarint_truncated_stream_raises():
+    data = encode_uvarints(np.array([300], dtype=np.uint64))
+    with pytest.raises(CodecError, match="truncated"):
+        decode_uvarints(data[:-1], 1)
+
+
+def test_uvarint_trailing_bytes_raise():
+    data = encode_uvarints(np.array([1, 2], dtype=np.uint64))
+    with pytest.raises(CodecError, match="trailing"):
+        decode_uvarints(data, 1)
+
+
+@pytest.mark.parametrize("values", [
+    [],
+    [0],
+    [42],
+    [-7],
+    list(range(1000)),
+    [5] * 500,
+    [2**63 - 1, -(2**63), 0, -1, 1],
+])
+def test_column_roundtrip_exact(values):
+    _payload, _encoding, out = roundtrip(values)
+    assert out.dtype == np.int64
+    assert out.tolist() == values
+
+
+def test_column_roundtrip_random():
+    rng = np.random.default_rng(7)
+    vals = rng.integers(-(2**40), 2**40, size=4096)
+    _p, _e, out = roundtrip(vals)
+    assert (out == vals).all()
+
+
+def test_sorted_column_compresses_well():
+    # a sorted column of big values becomes small deltas → ~1 byte each
+    vals = np.cumsum(np.ones(10_000, dtype=np.int64)) + 10**12
+    payload, encoding, out = roundtrip(vals)
+    assert (out == vals).all()
+    assert "delta" in encoding
+    assert len(payload) < len(vals)  # far below 8 bytes/value
+
+
+def test_no_delta_encoding():
+    payload, encoding, out = roundtrip([9, 3, 7], delta=False)
+    assert "delta" not in encoding
+    assert out.tolist() == [9, 3, 7]
+
+
+def test_zlib_only_kept_when_smaller():
+    rng = np.random.default_rng(0)
+    noise = rng.integers(-(2**60), 2**60, size=256)
+    payload, encoding = encode_column(noise, delta=False, compress=True)
+    # incompressible noise: encoder must fall back to the raw varint stream
+    assert decode_column(payload, encoding, 256).tolist() == noise.tolist()
+
+
+def test_compress_disabled():
+    vals = [1] * 10_000
+    _payload, encoding = encode_column(vals, compress=False)
+    assert "zlib" not in encoding
+
+
+def test_unknown_encoding_token_raises():
+    with pytest.raises(CodecError, match="unknown encoding"):
+        decode_column(b"", "delta+varint+rot13", 0)
+
+
+def test_missing_varint_token_raises():
+    with pytest.raises(CodecError, match="varint"):
+        decode_column(b"", "delta", 0)
+
+
+def test_corrupt_zlib_payload_raises():
+    payload, encoding = encode_column(list(range(5000)))
+    assert "zlib" in encoding
+    with pytest.raises(CodecError, match="zlib"):
+        decode_column(payload[:-4] + b"\x00\x00\x00\x00", encoding, 5000)

@@ -1,0 +1,178 @@
+"""Property-based tests: .aptrc encode→decode round-trips exactly.
+
+Hypothesis drives random machine shapes and random trace contents
+through `export_run` → `load_run`, checking that every stored quantity
+survives bit-for-bit — the logical matrix, physical records of all three
+send kinds, PAPI rows, and the overall cycle totals, including the
+``T_MAIN + T_COMM + T_PROC == T_TOTAL`` identity.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.conveyors.hooks import SEND_TYPES
+from repro.core.logical import LogicalTrace
+from repro.core.overall import OverallProfile
+from repro.core.papi_trace import PAPITrace
+from repro.core.physical import PhysicalTrace
+from repro.core.store.codec import decode_column, encode_column
+from repro.core.store.writer import export_run
+from repro.core.store.archive import load_run
+from repro.machine import MachineSpec
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+EVENTS = ("PAPI_TOT_INS", "PAPI_LST_INS", "PAPI_L1_DCM", "PAPI_BR_MSP")
+
+
+@st.composite
+def machine_specs(draw):
+    return MachineSpec(draw(st.integers(1, 3)), draw(st.integers(1, 5)))
+
+
+@st.composite
+def logical_traces(draw):
+    spec = draw(machine_specs())
+    trace = LogicalTrace(spec, sample_interval=draw(st.integers(1, 4)))
+    pes = st.integers(0, spec.n_pes - 1)
+    entries = draw(st.lists(
+        st.tuples(pes, pes, st.integers(1, 1024), st.integers(1, 50)),
+        max_size=40,
+    ))
+    for src, dst, size, count in entries:
+        key = (dst, size)
+        trace._counts[src][key] = trace._counts[src].get(key, 0) + count
+    trace._ticks = draw(st.lists(st.integers(0, 10_000),
+                                 min_size=spec.n_pes, max_size=spec.n_pes))
+    return trace
+
+
+@st.composite
+def physical_traces(draw):
+    n_pes = draw(st.integers(1, 12))
+    trace = PhysicalTrace(n_pes)
+    pes = st.integers(0, n_pes - 1)
+    entries = draw(st.lists(
+        st.tuples(st.sampled_from(SEND_TYPES), st.integers(1, 1 << 20),
+                  pes, pes, st.integers(1, 99)),
+        max_size=40,
+    ))
+    for kind, nbytes, src, dst, count in entries:
+        key = (kind, nbytes, src, dst)
+        trace._counts[key] = trace._counts.get(key, 0) + count
+    return trace
+
+
+@st.composite
+def papi_traces(draw):
+    spec = draw(machine_specs())
+    events = tuple(EVENTS[: draw(st.integers(1, 4))])
+    trace = PAPITrace(spec, events)
+    pes = st.integers(0, spec.n_pes - 1)
+    counters = st.integers(0, 2**48)
+    rows = draw(st.lists(
+        st.tuples(pes, pes, st.integers(0, 4096), st.integers(-1, 3),
+                  st.integers(0, 10**9),
+                  st.lists(counters, min_size=len(events),
+                           max_size=len(events))),
+        max_size=30,
+    ))
+    for src, dst, pkt, mailbox, num_sends, values in rows:
+        trace.record(src, dst, pkt, mailbox, num_sends, values)
+    for region in ("MAIN", "PROC"):
+        trace.region_totals[region] = np.asarray(draw(st.lists(
+            st.lists(counters, min_size=len(events), max_size=len(events)),
+            min_size=spec.n_pes, max_size=spec.n_pes,
+        )), dtype=np.int64).reshape(spec.n_pes, len(events))
+    return trace
+
+
+@st.composite
+def overall_profiles(draw):
+    n_pes = draw(st.integers(1, 12))
+    prof = OverallProfile(n_pes)
+    cycles = st.integers(0, 2**40)
+    for pe in range(n_pes):
+        main, proc, comm = draw(cycles), draw(cycles), draw(cycles)
+        prof.add_main(pe, main)
+        prof.add_proc(pe, proc)
+        prof.add_total(pe, main + proc + comm)
+    return prof
+
+
+@given(st.lists(st.integers(-(2**62), 2**62), max_size=300),
+       st.booleans(), st.booleans())
+@SETTINGS
+def test_codec_roundtrip_exact(values, delta, compress):
+    payload, encoding = encode_column(values, delta=delta, compress=compress)
+    assert decode_column(payload, encoding, len(values)).tolist() == values
+
+
+@given(logical_traces())
+@SETTINGS
+def test_logical_roundtrip(tmp_path, trace):
+    path = export_run(tmp_path / "l.aptrc", logical=trace)
+    got = load_run(path).logical
+    assert got._counts == trace._counts
+    assert got._ticks == trace._ticks
+    assert got.sample_interval == trace.sample_interval
+    assert got.spec == trace.spec
+    assert (got.matrix() == trace.matrix()).all()
+    assert (got.estimated_matrix() == trace.estimated_matrix()).all()
+
+
+@given(physical_traces())
+@SETTINGS
+def test_physical_roundtrip(tmp_path, trace):
+    path = export_run(tmp_path / "p.aptrc", physical=trace)
+    got = load_run(path).physical
+    assert got._counts == trace._counts
+    assert got.n_pes == trace.n_pes
+    assert got.counts_by_type() == trace.counts_by_type()
+    for kind in SEND_TYPES:
+        assert (got.bytes_matrix(kind) == trace.bytes_matrix(kind)).all()
+
+
+@given(papi_traces())
+@SETTINGS
+def test_papi_roundtrip(tmp_path, trace):
+    path = export_run(tmp_path / "pp.aptrc", papi=trace)
+    got = load_run(path).papi
+    assert got.events == trace.events
+    assert got.spec == trace.spec
+    for pe in range(trace.n_pes):
+        assert got.rows(pe) == trace.rows(pe)
+    for region in ("MAIN", "PROC"):
+        assert (got.region_totals[region]
+                == trace.region_totals[region]).all()
+
+
+@given(overall_profiles())
+@SETTINGS
+def test_overall_roundtrip_preserves_identity(tmp_path, prof):
+    path = export_run(tmp_path / "o.aptrc", overall=prof)
+    got = load_run(path).overall
+    assert (got.t_main == prof.t_main).all()
+    assert (got.t_proc == prof.t_proc).all()
+    assert (got.t_total == prof.t_total).all()
+    # the paper's invariant: T_MAIN + T_COMM + T_PROC == T_TOTAL
+    for pe in range(got.n_pes):
+        m, c, p = got.absolute(pe)
+        assert m + c + p == int(got.t_total[pe])
+    assert (got.t_comm() == prof.t_comm()).all()
+
+
+@given(logical_traces(), physical_traces(), overall_profiles())
+@SETTINGS
+def test_combined_archive_roundtrip(tmp_path, logical, physical, overall):
+    path = export_run(tmp_path / "all.aptrc", logical=logical,
+                      physical=physical, overall=overall)
+    traces = load_run(path)
+    assert traces.logical._counts == logical._counts
+    assert traces.physical._counts == physical._counts
+    assert (traces.overall.t_total == overall.t_total).all()

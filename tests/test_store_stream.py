@@ -1,0 +1,108 @@
+"""Tests for the streaming TraceArchiver (incremental spill to .aptrc)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ActorProf, LiveMonitor, ProfileFlags
+from repro.core.store.archive import Archive, ArchiveError, load_run
+from repro.core.store.writer import TraceArchiver
+from repro.hclib import Actor, run_spmd
+from repro.machine import MachineSpec
+
+
+class Inc(Actor):
+    def __init__(self, ctx, arr):
+        super().__init__(ctx)
+        self.arr = arr
+
+    def process(self, idx, sender):
+        self.arr[idx] += 1
+
+
+def program(ctx):
+    arr = np.zeros(8, dtype=np.int64)
+    a = Inc(ctx, arr)
+    with ctx.finish():
+        a.start()
+        for i in range(60):
+            a.send(int(ctx.rng.integers(0, 8)),
+                   int(ctx.rng.integers(0, ctx.n_pes)))
+        a.done()
+    return int(arr.sum())
+
+
+def reference_run(seed=3):
+    ap = ActorProf(ProfileFlags.all())
+    run_spmd(program, machine=MachineSpec(2, 4), profiler=ap, seed=seed)
+    return ap
+
+
+def test_streamed_archive_equals_in_memory(tmp_path):
+    """Spilled partial aggregates merge back to the exact traces."""
+    reference = reference_run()
+    arch = TraceArchiver(tmp_path / "run.aptrc", spill_every=50,
+                         meta={"app": "stream"})
+    run_spmd(program, machine=MachineSpec(2, 4), profiler=arch, seed=3)
+    path = arch.close()
+    assert arch.spills > 2  # the run actually streamed in several chunks
+    traces = load_run(path)
+    assert traces.meta["app"] == "stream"
+    assert traces.logical._counts == reference.logical._counts
+    assert traces.logical._ticks == reference.logical._ticks
+    assert traces.physical._counts == reference.physical._counts
+
+
+def test_streamed_chunks_are_visible_in_footer(tmp_path):
+    arch = TraceArchiver(tmp_path / "run.aptrc", spill_every=25)
+    run_spmd(program, machine=MachineSpec(2, 4), profiler=arch, seed=3)
+    arch.close()
+    with Archive(tmp_path / "run.aptrc") as archive:
+        section = archive.section("logical")
+        chunks = section._chunks["count"]
+        assert len(chunks) > 1  # multiple spills → multiple chunks
+        assert section.rows == sum(c.count for c in chunks)
+
+
+def test_archiver_wrapping_inner_profiler(tmp_path):
+    """With an inner ActorProf, PAPI + overall sections ride along."""
+    inner = ActorProf(ProfileFlags.all())
+    arch = TraceArchiver(tmp_path / "run.aptrc", inner=inner, spill_every=40)
+    run_spmd(program, machine=MachineSpec(2, 4), profiler=arch, seed=5)
+    path = arch.close()
+    traces = load_run(path)
+    assert traces.kinds() == ("logical", "physical", "papi", "overall")
+    assert traces.logical._counts == inner.logical._counts
+    assert (traces.overall.t_total == inner.overall.t_total).all()
+    for pe in range(8):
+        assert traces.papi.rows(pe) == inner.papi_trace.rows(pe)
+
+
+def test_archiver_wrapping_live_monitor(tmp_path):
+    """TraceArchiver composes with other hook decorators."""
+    live = LiveMonitor(None, snapshot_every=50)
+    arch = TraceArchiver(tmp_path / "run.aptrc", inner=live, spill_every=30)
+    run_spmd(program, machine=MachineSpec(2, 4), profiler=arch, seed=3)
+    arch.close()
+    assert live.current().total_sends == 480  # 60 sends × 8 PEs
+    assert load_run(tmp_path / "run.aptrc").logical.total_sends() == 480
+
+
+def test_archiver_single_use(tmp_path):
+    arch = TraceArchiver(tmp_path / "run.aptrc")
+    run_spmd(program, machine=MachineSpec(2, 4), profiler=arch, seed=3)
+    arch.close()
+    with pytest.raises(ArchiveError, match="exactly one run"):
+        arch.attach(object())
+
+
+def test_archiver_requires_attach(tmp_path):
+    arch = TraceArchiver(tmp_path / "run.aptrc")
+    with pytest.raises(ArchiveError, match="not attached"):
+        arch.close()
+    with pytest.raises(ArchiveError, match="not attached"):
+        arch.spill()
+
+
+def test_bad_spill_every():
+    with pytest.raises(ValueError):
+        TraceArchiver("x.aptrc", spill_every=0)
