@@ -80,6 +80,10 @@ class InboundBuffer:
     hop_src: int
     kind: str  # "local_send" | "nonblock_send"
     data: np.ndarray
+    #: Injected duplicate delivery (fault injection).  The receiver
+    #: detects and discards it — like a sequence-number check in a real
+    #: transport — so exactly-once item semantics survive.
+    duplicate: bool = False
 
     @property
     def count(self) -> int:
@@ -149,6 +153,15 @@ class ConveyorStats:
     buffers_sent: dict[str, int] = field(default_factory=dict)
     bytes_sent: dict[str, int] = field(default_factory=dict)
     progress_calls: int = 0
+    #: Fault-injection accounting.  Retries/duplicates are tracked here,
+    #: NOT in ``buffers_sent`` / the physical trace: a wire transfer is
+    #: recorded as ``nonblock_send`` exactly once however many injected
+    #: drops preceded it, and an injected duplicate delivery adds no
+    #: second record.
+    retries: int = 0
+    duplicates: int = 0
+    dups_discarded: int = 0
+    delayed: int = 0
 
     def note_send(self, kind: str, nbytes: int) -> None:
         self.buffers_sent[kind] = self.buffers_sent.get(kind, 0) + 1

@@ -46,7 +46,8 @@ from repro.conveyors.buffers import (
 from repro.conveyors.hooks import NullTraceSink, TraceSink
 from repro.conveyors.topology import Topology, make_topology
 from repro.shmem.runtime import ShmemRuntime
-from repro.sim.errors import SimulationError
+from repro.sim.errors import FaultError, SimulationError
+from repro.sim.faults import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -110,10 +111,12 @@ class ConveyorGroup:
         runtime: ShmemRuntime,
         config: ConveyorConfig | None = None,
         tracer: TraceSink | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         self.runtime = runtime
         self.config = config or ConveyorConfig()
         self.tracer: TraceSink = tracer if tracer is not None else NullTraceSink()
+        self.faults = faults
         self.topology: Topology = make_topology(self.config.topology, runtime.spec)
         self.live = 0  # pushed-but-not-yet-pulled items, globally
         self.done = [False] * runtime.spec.n_pes
@@ -379,6 +382,12 @@ class Conveyor:
         cost = self.perf.cost
         forward_total = 0
         for buf in visible:
+            if buf.duplicate:
+                # Injected duplicate delivery: detected (think sequence
+                # numbers) and discarded, preserving exactly-once pulls.
+                self.stats.dups_discarded += 1
+                self.perf.work(ins=8, loads=2, branches=2)
+                continue
             rows = buf.data
             mask = rows[:, COL_DST] == self.me
             mine = rows[mask]
@@ -412,7 +421,10 @@ class Conveyor:
             return
         nbytes = self.group.config.wire_bytes(count)
         spec = self.group.runtime.spec
+        duplicated = False
         if spec.same_node(self.me, hop):
+            # Intra-node delivery is a memcpy through shared memory;
+            # injected network faults do not apply to it.
             kind = "local_send"
             self.ctx.local_memcpy(nbytes)
             arrival = self.perf.clock.now
@@ -420,13 +432,60 @@ class Conveyor:
             kind = "nonblock_send"
             if self.outstanding.get(hop, 0) >= self.group.config.slots:
                 self._progress(hop)
-            arrival = self.ctx.putmem_nbi_raw(hop, nbytes)
+            arrival, duplicated = self._put_with_faults(hop, nbytes)
             self.outstanding[hop] = self.outstanding.get(hop, 0) + 1
+        # Exactly one trace record / stats entry per successful wire
+        # transfer: retries and duplicates are accounted separately.
         self.group.tracer.record(kind, nbytes, self.me, hop, self.perf.clock.now)
         self.stats.note_send(kind, nbytes)
-        self.group.endpoints[hop].inbound.append(
+        endpoint = self.group.endpoints[hop]
+        endpoint.inbound.append(
             InboundBuffer(arrival=arrival, hop_src=self.me, kind=kind, data=rows)
         )
+        if duplicated:
+            endpoint.inbound.append(
+                InboundBuffer(
+                    arrival=arrival, hop_src=self.me, kind=kind, data=rows,
+                    duplicate=True,
+                )
+            )
+
+    def _put_with_faults(self, hop: int, nbytes: int) -> tuple[int, bool]:
+        """Issue the non-blocking put for one buffer, absorbing faults.
+
+        Dropped puts are retried with exponential backoff up to the
+        plan's ``max_retries``; a lost put leaves no pending completion
+        (the packet is gone, so it cannot extend a later ``quiet``) and
+        no trace record.  Returns ``(arrival, duplicated)``.
+        """
+        faults = self.group.faults
+        if faults is None:
+            return self.ctx.putmem_nbi_raw(hop, nbytes), False
+        plan = faults.plan
+        attempt = 0
+        while True:
+            outcome = faults.send_outcome(self.me, hop, self.perf.clock.now)
+            if outcome.action != "drop":
+                arrival = self.ctx.putmem_nbi_raw(hop, nbytes)
+                if outcome.extra_delay:
+                    self.stats.delayed += 1
+                    arrival += outcome.extra_delay
+                if outcome.action == "duplicate":
+                    self.stats.duplicates += 1
+                return arrival, outcome.action == "duplicate"
+            # The put was issued and lost in the network: charge the
+            # issue-side work, back off, retry.
+            self.stats.retries += 1
+            self.perf.work(ins=30, loads=6, stores=6, branches=2)
+            if attempt >= plan.max_retries:
+                raise FaultError(
+                    f"PE {self.me}: buffer put to PE {hop} dropped "
+                    f"{attempt + 1} times (injected fault); retry budget "
+                    f"of {plan.max_retries} exhausted"
+                )
+            if plan.backoff_cycles:
+                self.perf.stall(plan.backoff_cycles << attempt)
+            attempt += 1
 
     def _progress(self, dst: int) -> None:
         """nonblock_progress: quiet (completes ALL puts) + signal ``dst``."""

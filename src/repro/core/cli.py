@@ -24,7 +24,13 @@ Beyond the paper scripts, the CLI fronts the binary trace store
   ``.aptrc`` file,
 * ``actorprof runs list|show|add|rm`` manages the on-disk run registry,
 * ``actorprof diff RUN_A RUN_B`` compares two stored runs (directories,
-  archives, or registered run ids).
+  archives, or registered run ids),
+* ``actorprof faults template|check`` authors deterministic fault plans
+  (:mod:`repro.sim.faults`),
+* ``actorprof run APP`` executes a built-in app under the profiler —
+  optionally under ``--fault-plan`` — archiving the traces; a run that
+  dies mid-execution is salvaged into a degraded archive (exit code 3)
+  instead of losing everything.
 
 Examples::
 
@@ -33,6 +39,9 @@ Examples::
     actorprof -l -s run.aptrc
     actorprof runs add run.aptrc --registry runs/
     actorprof diff runs/a.aptrc runs/b.aptrc
+    actorprof faults template plan.json
+    actorprof run histogram --fault-plan plan.json -o crashed.aptrc
+    actorprof diff crashed.aptrc healthy.aptrc
 """
 
 from __future__ import annotations
@@ -123,6 +132,10 @@ def main(argv: list[str] | None = None) -> int:
         return _runs_main(argv[1:])
     if argv and argv[0] == "diff":
         return _diff_main(argv[1:])
+    if argv and argv[0] == "faults":
+        return _faults_main(argv[1:])
+    if argv and argv[0] == "run":
+        return _run_main(argv[1:])
     args = build_parser().parse_args(argv)
     if not (args.logical or args.papi or args.overall or args.physical
             or args.timeline or args.query or args.export_archive):
@@ -439,6 +452,199 @@ def _runs_main(argv: list[str]) -> int:
         print(f"runs {args.command} failed: {exc}", file=sys.stderr)
         return 2
     raise AssertionError(f"unhandled runs command {args.command!r}")
+
+
+# ----------------------------------------------------------------------
+# `actorprof faults` — fault-plan authoring
+# ----------------------------------------------------------------------
+
+def _faults_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="actorprof faults",
+        description="author and validate deterministic fault-injection "
+                    "plans (JSON) for 'actorprof run --fault-plan'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    template = sub.add_parser(
+        "template", help="write an example fault plan to PATH"
+    )
+    template.add_argument("path", type=Path, help="output JSON path")
+    template.add_argument("--crash", action="append", default=[],
+                          metavar="PE:CYCLE",
+                          help="add a crash fault (repeatable), e.g. 2:200000")
+    template.add_argument("--drop", type=float, default=None, metavar="P",
+                          help="add an all-edges drop probability")
+    template.add_argument("--seed", type=int, default=0,
+                          help="fault RNG seed stored in the plan")
+    check = sub.add_parser(
+        "check", help="validate a fault plan and print its summary"
+    )
+    check.add_argument("path", type=Path, help="plan JSON to check")
+    check.add_argument("--num-pes", type=int, default=None,
+                       help="validate PE references against this job size")
+    return parser
+
+
+def _faults_main(argv: list[str]) -> int:
+    from repro.sim.faults import CrashFault, EdgeFault, FaultPlan
+
+    args = _faults_parser().parse_args(argv)
+    try:
+        if args.command == "template":
+            crashes = []
+            for spec_text in args.crash:
+                pe_text, _, cycle_text = spec_text.partition(":")
+                try:
+                    crashes.append(CrashFault(int(pe_text), int(cycle_text)))
+                except ValueError:
+                    print(f"bad --crash {spec_text!r}: use PE:CYCLE",
+                          file=sys.stderr)
+                    return 2
+            edges = []
+            if args.drop is not None:
+                edges.append(EdgeFault(drop=args.drop))
+            if not crashes and not edges:
+                # the didactic default: one crash + a lossy edge
+                crashes = [CrashFault(pe=1, at_cycle=200_000)]
+                edges = [EdgeFault(src=0, dst=1, drop=0.1, delay=0.05,
+                                   delay_cycles=5_000)]
+            plan = FaultPlan(crashes=tuple(crashes), edges=tuple(edges),
+                             seed=args.seed)
+            plan.save(args.path)
+            print(f"wrote fault plan template → {args.path}")
+            print(plan.describe())
+            return 0
+        if args.command == "check":
+            plan = FaultPlan.load(args.path)
+            if args.num_pes is not None:
+                plan.validate(args.num_pes)
+            print(plan.describe())
+            if args.num_pes is not None:
+                print(f"plan is valid for {args.num_pes} PEs")
+            return 0
+    except (ValueError, OSError) as exc:
+        print(f"faults {args.command} failed: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled faults command {args.command!r}")
+
+
+# ----------------------------------------------------------------------
+# `actorprof run` — execute a built-in app under the profiler
+# ----------------------------------------------------------------------
+
+def _run_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="actorprof run",
+        description="run a built-in FA-BSP app under ActorProf, optionally "
+                    "under a fault plan; traces are archived even when the "
+                    "run dies (degraded archive, exit code 3)",
+    )
+    parser.add_argument("app", choices=("histogram", "triangle"),
+                        help="which app to run")
+    parser.add_argument("--nodes", type=int, default=2,
+                        help="simulated nodes (default 2)")
+    parser.add_argument("--pes-per-node", type=int, default=2,
+                        help="PEs per node (default 2)")
+    parser.add_argument("--updates", type=int, default=2000,
+                        help="histogram: updates per PE (default 2000)")
+    parser.add_argument("--table-size", type=int, default=512,
+                        help="histogram: table slots per PE (default 512)")
+    parser.add_argument("--scale", type=int, default=8,
+                        help="triangle: R-MAT scale (default 8)")
+    parser.add_argument("--distribution", default="cyclic",
+                        choices=("cyclic", "range", "block"),
+                        help="triangle: row distribution (default cyclic)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="per-PE RNG seed (default 0)")
+    parser.add_argument("--fault-plan", type=Path, default=None,
+                        metavar="PLAN.json",
+                        help="inject the faults described in this plan "
+                             "(see 'actorprof faults')")
+    parser.add_argument("-o", "--export-archive", type=Path, default=None,
+                        metavar="PATH",
+                        help="archive the run's traces to PATH (.aptrc); "
+                             "required to salvage a failing run")
+    return parser
+
+
+def _run_main(argv: list[str]) -> int:
+    import contextlib
+
+    from repro.core.profiler import ActorProf
+    from repro.machine.spec import MachineSpec
+    from repro.sim.errors import SimulationError
+    from repro.sim.faults import FaultPlan, use_plan
+
+    args = _run_parser().parse_args(argv)
+    try:
+        plan = (FaultPlan.load(args.fault_plan)
+                if args.fault_plan is not None else None)
+    except ValueError as exc:
+        print(f"bad fault plan: {exc}", file=sys.stderr)
+        return 2
+    spec = MachineSpec(args.nodes, args.pes_per_node)
+    if plan is not None:
+        try:
+            plan.validate(spec.n_pes)
+        except ValueError as exc:
+            print(f"fault plan does not fit this machine: {exc}",
+                  file=sys.stderr)
+            return 2
+    profiler = ActorProf()
+    meta = {"app": args.app, "seed": args.seed}
+    if plan is not None:
+        meta["fault_plan"] = plan.to_dict()
+    scope = use_plan(plan) if plan is not None else contextlib.nullcontext()
+    failure: BaseException | None = None
+    summary = ""
+    try:
+        with scope:
+            if args.app == "histogram":
+                from repro.apps.histogram import histogram
+
+                res = histogram(
+                    args.updates, args.table_size, machine=spec,
+                    profiler=profiler, seed=args.seed,
+                )
+                summary = (f"histogram: {res.total_updates:,} "
+                           f"updates delivered")
+                meta.update(updates=args.updates, table_size=args.table_size)
+            else:
+                from repro.apps.triangle import count_triangles
+                from repro.experiments.casestudy import case_study_graph
+
+                graph = case_study_graph(args.scale)
+                res = count_triangles(
+                    graph, spec, args.distribution, profiler=profiler,
+                    seed=args.seed,
+                )
+                summary = f"triangle: {res.triangles:,} triangles"
+                meta.update(scale=args.scale, distribution=args.distribution)
+    except SimulationError as exc:
+        failure = exc
+    if failure is None:
+        print(f"{summary} on {spec.nodes}x{spec.pes_per_node} PEs "
+              f"(seed {args.seed})")
+        if args.export_archive is not None:
+            path = profiler.export_archive(args.export_archive, meta=meta)
+            print(f"archived traces → {path} ({path.stat().st_size:,} bytes)")
+        return 0
+    first_line = str(failure).splitlines()[0]
+    print(f"run failed: {type(failure).__name__}: {first_line}",
+          file=sys.stderr)
+    if args.export_archive is None:
+        print("no --export-archive given; traces were not salvaged",
+              file=sys.stderr)
+        return 1
+    try:
+        path = profiler.salvage_archive(args.export_archive, failure=failure,
+                                        meta=meta)
+    except (ValueError, OSError) as exc:
+        print(f"salvage failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"salvaged degraded traces → {path} "
+          f"({path.stat().st_size:,} bytes)", file=sys.stderr)
+    return 3
 
 
 # ----------------------------------------------------------------------

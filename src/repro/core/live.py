@@ -39,6 +39,7 @@ class LiveSnapshot:
 class _LiveState:
     sends: np.ndarray
     handled: np.ndarray
+    open_per_pe: np.ndarray
     open_finishes: int = 0
     snapshots: list[LiveSnapshot] = field(default_factory=list)
 
@@ -70,6 +71,7 @@ class LiveMonitor:
         self._state = _LiveState(
             sends=np.zeros(self._n_pes, dtype=np.int64),
             handled=np.zeros(self._n_pes, dtype=np.int64),
+            open_per_pe=np.zeros(self._n_pes, dtype=np.int64),
         )
         return self, tracer
 
@@ -96,19 +98,31 @@ class LiveMonitor:
         return self._state
 
     def _maybe_snapshot(self) -> None:
+        # A single send_batch can cross several snapshot_every boundaries
+        # at once; emit one snapshot per crossed boundary so the snapshot
+        # cadence stays uniform regardless of batch size.
         st = self._require_state()
-        if int(st.sends.sum()) // self.snapshot_every > len(st.snapshots):
+        while int(st.sends.sum()) // self.snapshot_every > len(st.snapshots):
             st.snapshots.append(self.current())
 
     # -- RuntimeHooks (forwarding + accounting) --------------------------------
 
     def finish_start(self, pe: int) -> None:
-        self._require_state().open_finishes += 1
+        st = self._require_state()
+        st.open_per_pe[pe] += 1
+        st.open_finishes += 1
         if self._hooks is not None:
             self._hooks.finish_start(pe)
 
     def finish_end(self, pe: int) -> None:
-        self._require_state().open_finishes -= 1
+        st = self._require_state()
+        if st.open_per_pe[pe] <= 0:
+            raise RuntimeError(
+                f"unmatched finish_end on PE {pe}: no finish scope is open "
+                f"on that PE (runtime hook sequencing bug)"
+            )
+        st.open_per_pe[pe] -= 1
+        st.open_finishes -= 1
         if self._hooks is not None:
             self._hooks.finish_end(pe)
 

@@ -295,3 +295,36 @@ class ActorProf:
             overall=self.overall,
             meta=full_meta,
         )
+
+    def _degraded_meta(self, failure: BaseException | None) -> dict:
+        """Footer metadata describing how a failed run went down."""
+        degraded: dict = {"degraded": True}
+        if failure is not None:
+            degraded["failure"] = f"{type(failure).__name__}: {failure}"
+        world = self.world
+        if world is not None:
+            crashed = getattr(world.scheduler, "crashed", {})
+            if crashed:
+                degraded["crashed_pes"] = {
+                    str(r): t for r, t in sorted(crashed.items())
+                }
+            faults = getattr(world, "faults", None)
+            if faults is not None:
+                degraded["fault_schedule"] = faults.schedule_rows()
+        return degraded
+
+    def salvage_archive(self, path: str | Path, failure: BaseException | None = None,
+                        meta: dict | None = None) -> Path:
+        """Export whatever was traced before a failed run into ``path``.
+
+        The graceful-degradation path: when the profiled run raised
+        (an injected crash, a broken collective, a deadlock), every
+        trace collected up to the failure is still in memory — write it
+        out as a ``.aptrc`` whose footer marks the run ``degraded`` and
+        records the failure plus the injected-fault schedule.  Surviving
+        PEs' data is intact and the archive loads, queries, and diffs
+        like any other.
+        """
+        degraded = self._degraded_meta(failure)
+        degraded.update(meta or {})
+        return self.export_archive(path, meta=degraded)

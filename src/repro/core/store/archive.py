@@ -243,6 +243,11 @@ class Archive:
     def n_pes(self) -> int:
         return self.spec().n_pes
 
+    @property
+    def degraded(self) -> bool:
+        """True when this archive was salvaged from a failed run."""
+        return bool(self.meta.get("degraded", False))
+
 
 # ----------------------------------------------------------------------
 # trace loaders
@@ -296,6 +301,11 @@ class RunTraces:
             k for k in ("logical", "physical", "papi", "overall")
             if getattr(self, k) is not None
         )
+
+    @property
+    def degraded(self) -> bool:
+        """True when these traces were salvaged from a failed run."""
+        return bool(self.meta.get("degraded", False))
 
 
 def load_run(path: str | Path) -> RunTraces:

@@ -52,7 +52,8 @@ class RunInfo:
         if "nodes" in m and "pes_per_node" in m:
             shape = f"{m['nodes']}x{m['pes_per_node']} PEs"
         app = m.get("app", "")
-        bits = [b for b in (app, shape, f"{self.size_bytes:,} B",
+        degraded = "[degraded]" if m.get("degraded") else ""
+        bits = [b for b in (app, shape, degraded, f"{self.size_bytes:,} B",
                             self.created) if b]
         return f"{self.run_id:<24} " + "  ".join(bits)
 

@@ -270,6 +270,7 @@ class TraceArchiver:
         self._hooks = None
         self._tracer = None
         self._spec = None
+        self._world = None
         self._logical: dict[tuple[int, int, int], int] = {}
         self._physical: dict[tuple[int, int, int, int], int] = {}
         self._ticks: list[int] = []
@@ -285,6 +286,7 @@ class TraceArchiver:
         if self.inner is not None:
             self._hooks, self._tracer = self.inner.attach(world)
         self._spec = world.spec
+        self._world = world
         self._ticks = [0] * world.spec.n_pes
         meta = {
             "nodes": world.spec.nodes,
@@ -357,6 +359,35 @@ class TraceArchiver:
             columns, attrs = overall.to_columns()
             self._writer.add_section("overall", columns, attrs)
         return self._writer.close()
+
+    def salvage(self, failure: BaseException | None = None,
+                meta: dict | None = None) -> Path:
+        """Finalize the archive for a run that died mid-execution.
+
+        Because the writer is append-only and the footer is written at
+        close, everything spilled before the failure is already on disk;
+        salvaging just stamps the footer metadata ``degraded`` (plus the
+        failure and any injected-fault schedule) and closes normally.
+        The result is a fully loadable ``.aptrc``.
+        """
+        if self._writer is None:
+            raise ArchiveError("TraceArchiver is not attached to a run")
+        degraded: dict = {"degraded": True}
+        if failure is not None:
+            degraded["failure"] = f"{type(failure).__name__}: {failure}"
+        world = self._world
+        if world is not None:
+            crashed = getattr(world.scheduler, "crashed", {})
+            if crashed:
+                degraded["crashed_pes"] = {
+                    str(r): t for r, t in sorted(crashed.items())
+                }
+            faults = getattr(world, "faults", None)
+            if faults is not None:
+                degraded["fault_schedule"] = faults.schedule_rows()
+        degraded.update(meta or {})
+        self._writer.meta.update(degraded)
+        return self.close()
 
     # -- RuntimeHooks (forwarding + accumulation) --------------------------
 

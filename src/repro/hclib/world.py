@@ -26,6 +26,7 @@ from repro.machine.cost import CostModel
 from repro.machine.spec import MachineSpec
 from repro.shmem.runtime import ShmemContext, ShmemRuntime
 from repro.sim.errors import SimulationError
+from repro.sim.faults import FaultInjector, FaultPlan, current_plan
 from repro.sim.rng import spawn_rngs
 from repro.sim.scheduler import CoopScheduler
 
@@ -56,6 +57,7 @@ class _SelectorSlot:
                     buffer_header_bytes=config.buffer_header_bytes,
                 ),
                 tracer=world.physical_tracer,
+                faults=world.faults,
             )
             for w in payload_words
         ]
@@ -73,6 +75,7 @@ class World:
         physical_tracer: TraceSink | None = None,
         seed: int = 0,
         log_shmem_calls: bool = False,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.spec = spec
         self.scheduler = CoopScheduler(spec.n_pes)
@@ -85,6 +88,23 @@ class World:
         )
         self.seed = seed
         self.rngs = spawn_rngs(seed, spec.n_pes)
+        # Fault injection: an explicit plan wins; otherwise pick up the
+        # ambient `use_plan(...)` default so apps that build their own
+        # World (everything in repro.apps) become fault-testable without
+        # signature changes.
+        plan = fault_plan if fault_plan is not None else current_plan()
+        self.fault_plan = plan
+        self.faults: FaultInjector | None = None
+        if plan is not None and not plan.empty:
+            self.faults = FaultInjector(plan, spec.n_pes)
+            for crash in plan.crashes:
+                self.scheduler.schedule_crash(
+                    crash.pe, crash.at_cycle, on_crash=self.faults.note_crash
+                )
+            for slow in plan.slow_pes:
+                self.shmem.perf[slow.pe].rate = slow.multiplier
+                self.faults.note("slow", slow.pe, -1, 0, f"x{slow.multiplier:g}")
+            self.scheduler.fault_context = self.faults.describe_schedule
         self.contexts = [PEContext(self, r) for r in range(spec.n_pes)]
         self._slots: list[_SelectorSlot] = []
         self._slot_cursor = [0] * spec.n_pes
@@ -345,6 +365,7 @@ def run_spmd(
     seed: int = 0,
     log_shmem_calls: bool = False,
     shmem_observers: Sequence[Any] = (),
+    fault_plan: FaultPlan | None = None,
 ) -> RunResult:
     """Run an SPMD FA-BSP ``program`` on a simulated ``machine``.
 
@@ -368,6 +389,11 @@ def run_spmd(
         pshmem-style observers to attach to the SHMEM runtime (objects
         with an ``attach(runtime)`` method, e.g. the baseline profilers
         in :mod:`repro.core.baseline`).
+    fault_plan:
+        A :class:`~repro.sim.faults.FaultPlan` of deterministic faults to
+        inject (crashes, message drop/duplicate/delay, slow PEs).  When
+        omitted, the ambient :func:`~repro.sim.faults.use_plan` default
+        (if any) applies.
 
     Returns
     -------
@@ -381,6 +407,7 @@ def run_spmd(
         conveyor_config=conveyor_config,
         seed=seed,
         log_shmem_calls=log_shmem_calls,
+        fault_plan=fault_plan,
     )
     for observer in shmem_observers:
         observer.attach(world.shmem)

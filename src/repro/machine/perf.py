@@ -29,12 +29,25 @@ class PerfCore:
         Cost table used to convert work into cycles/counters.
     """
 
-    __slots__ = ("clock", "cost", "counters", "_l1_resid", "_l2_resid", "_br_resid")
+    __slots__ = (
+        "clock",
+        "cost",
+        "counters",
+        "rate",
+        "_l1_resid",
+        "_l2_resid",
+        "_br_resid",
+    )
 
     def __init__(self, clock: CycleClock, cost: CostModel) -> None:
         self.clock = clock
         self.cost = cost
         self.counters = CounterBank()
+        #: Cycle-time multiplier for this core (slow-PE fault injection:
+        #: a throttled core retires the same instructions in more cycles).
+        #: Applied to computed work and memcpy, never to ``stall_until`` —
+        #: waiting for an absolute arrival time is not compute.
+        self.rate = 1.0
         self._l1_resid = 0.0
         self._l2_resid = 0.0
         self._br_resid = 0.0
@@ -85,6 +98,7 @@ class PerfCore:
         c.add("PAPI_BR_MSP", br)
         cycles = self.cost.ins_cycles(ins) + extra_cycles
         cycles += int(round(loads * self.cost.load_fraction_penalty))
+        cycles = self._scaled(cycles)
         self._advance(cycles)
         return cycles
 
@@ -117,8 +131,13 @@ class PerfCore:
         c.add("PAPI_LST_INS", 2 * touches)
         c.add("PAPI_LD_INS", touches)
         c.add("PAPI_SR_INS", touches)
-        cycles = self.cost.memcpy_cycles(nbytes)
+        cycles = self._scaled(self.cost.memcpy_cycles(nbytes))
         self._advance(cycles)
+        return cycles
+
+    def _scaled(self, cycles: int) -> int:
+        if self.rate != 1.0:
+            return int(round(cycles * self.rate))
         return cycles
 
     def _advance(self, cycles: int) -> None:

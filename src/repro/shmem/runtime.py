@@ -149,11 +149,27 @@ class ShmemRuntime:
                 self.scheduler.clocks[r].advance_to(state.release_time)
             del self._coll[seq]
         else:
-            self.scheduler.block(
-                rank,
-                predicate=lambda: state.released,
-                reason=f"collective {kind} #{seq}",
-            )
+            # Crash awareness: a participant killed by an injected fault
+            # can never arrive, so waiting for it would wedge the run.
+            # Detect that eagerly (and mid-wait, via the predicate) and
+            # fail with an attributable message instead of a deadlock.
+            def broken() -> bool:
+                return any(r not in state.arrived for r in self.scheduler.crashed)
+
+            if not broken():
+                self.scheduler.block(
+                    rank,
+                    predicate=lambda: state.released or broken(),
+                    reason=f"collective {kind} #{seq}",
+                )
+            if not state.released:
+                missing = sorted(
+                    r for r in self.scheduler.crashed if r not in state.arrived
+                )
+                raise SimulationError(
+                    f"collective {kind} #{seq} can never complete: "
+                    f"PE(s) {missing} crashed before arriving (injected fault)"
+                )
         return state.result
 
 

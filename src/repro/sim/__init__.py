@@ -16,20 +16,46 @@ those live in the layers above.
 """
 
 from repro.sim.clock import CycleClock
-from repro.sim.errors import DeadlockError, SimulationError, PEFailure
+from repro.sim.errors import (
+    DeadlockError,
+    FaultError,
+    PECrashed,
+    PEFailure,
+    SimulationError,
+)
 from repro.sim.events import Event, EventQueue
+from repro.sim.faults import (
+    CrashFault,
+    EdgeFault,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    SlowPE,
+    current_plan,
+    use_plan,
+)
 from repro.sim.rng import pe_rng, spawn_rngs
 from repro.sim.scheduler import CoopScheduler, PEState
 
 __all__ = [
+    "CrashFault",
     "CycleClock",
     "CoopScheduler",
     "DeadlockError",
+    "EdgeFault",
     "Event",
     "EventQueue",
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "PECrashed",
     "PEFailure",
     "PEState",
     "SimulationError",
+    "SlowPE",
+    "current_plan",
     "pe_rng",
     "spawn_rngs",
+    "use_plan",
 ]

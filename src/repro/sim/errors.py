@@ -28,3 +28,29 @@ class PEFailure(SimulationError):
     def __init__(self, rank: int, message: str) -> None:
         super().__init__(f"PE {rank} failed: {message}")
         self.rank = rank
+
+
+class PECrashed(PEFailure):
+    """A PE was killed by an injected crash fault.
+
+    Unlike an ordinary :class:`PEFailure`, an injected crash does **not**
+    abort the simulation: surviving PEs keep running (to completion, to a
+    broken collective, or to a deadlock), and the scheduler raises this
+    afterwards.  The crash site is available as :attr:`rank` /
+    :attr:`at_cycle`.
+    """
+
+    def __init__(self, rank: int, at_cycle: int, extra: str = "") -> None:
+        message = f"injected crash at cycle {at_cycle}"
+        if extra:
+            message += f"; {extra}"
+        super().__init__(rank, message)
+        self.at_cycle = at_cycle
+
+
+class FaultError(SimulationError):
+    """An injected fault could not be absorbed by the runtime.
+
+    Raised e.g. when a buffer send is dropped more times than the fault
+    plan's retry budget allows.
+    """

@@ -41,7 +41,7 @@ import traceback
 from typing import Callable, Sequence
 
 from repro.sim.clock import CycleClock
-from repro.sim.errors import DeadlockError, PEFailure, SimulationError
+from repro.sim.errors import DeadlockError, PECrashed, PEFailure, SimulationError
 from repro.sim.events import EventQueue
 
 
@@ -54,10 +54,19 @@ class PEState(enum.Enum):
     BLOCKED = "blocked"
     DONE = "done"
     FAILED = "failed"
+    CRASHED = "crashed"
 
 
 class _Abort(BaseException):
     """Internal: unwinds a PE thread when the simulation is torn down."""
+
+
+class _CrashUnwind(BaseException):
+    """Internal: unwinds a PE thread killed by an injected crash fault.
+
+    Unlike :class:`_Abort` this does not abort the simulation — the
+    remaining PEs keep running.
+    """
 
 
 _MAIN = -1  # sentinel "rank" for the coordinating main thread
@@ -109,6 +118,11 @@ class CoopScheduler:
         self._failure: PEFailure | None = None
         self._aborting = False
         self._started = False
+        #: rank -> virtual crash time for PEs killed by injected faults.
+        self.crashed: dict[int, int] = {}
+        #: Optional callable appended to deadlock reports (the fault
+        #: injector's schedule, when a fault plan is active).
+        self.fault_context: Callable[[], str] | None = None
 
     # ------------------------------------------------------------------
     # Public API used by layer code running *inside* PE threads
@@ -132,7 +146,11 @@ class CoopScheduler:
             if nxt is rec:
                 rec.state = PEState.RUNNING
                 return
-            self._wake_locked(nxt)
+            # nxt can be None (everything else DONE) only when an event
+            # fired during selection crashed this very PE; _sleep below
+            # then unwinds it.
+            if nxt is not None:
+                self._wake_locked(nxt)
         self._sleep(rank)
 
     def block(
@@ -166,7 +184,8 @@ class CoopScheduler:
             if nxt is rec:
                 self._resume_locked(rec)
                 return
-            self._wake_locked(nxt)
+            if nxt is not None:
+                self._wake_locked(nxt)
         self._sleep(rank)
 
     def wait_until(
@@ -194,6 +213,59 @@ class CoopScheduler:
         """
         with self._lock:
             self.events.schedule(time, action)
+
+    def schedule_crash(
+        self,
+        rank: int,
+        at_cycle: int,
+        on_crash: Callable[[int, int], None] | None = None,
+    ) -> None:
+        """Kill PE ``rank`` at its first scheduling point >= ``at_cycle``.
+
+        The crash does **not** abort the simulation: the victim's thread
+        unwinds silently and every other PE keeps running (to completion,
+        to a broken collective, or to a deadlock).  :meth:`run` raises
+        :class:`~repro.sim.errors.PECrashed` afterwards so callers know
+        the run is degraded; collected traces stay readable.
+
+        A PE that reaches DONE/FAILED before cycle ``at_cycle`` survives —
+        the same way a SIGKILL delivered after ``exit()`` changes nothing.
+        ``on_crash(rank, cycle)`` (if given) runs under the scheduler lock
+        the moment the crash fires; it must be a quick data mutation.
+        """
+        if not 0 <= rank < self.n_pes:
+            raise ValueError(f"cannot crash PE {rank}: only {self.n_pes} PEs")
+        if at_cycle < 0:
+            raise ValueError(f"crash cycle must be >= 0, got {at_cycle}")
+        self.post(at_cycle, lambda: self._crash_locked(rank, at_cycle, on_crash))
+
+    def _crash_locked(
+        self,
+        rank: int,
+        at_cycle: int,
+        on_crash: Callable[[int, int], None] | None,
+    ) -> None:
+        """Event action: mark ``rank`` crashed (runs under the lock).
+
+        Event actions only ever fire inside :meth:`_select_locked`, at
+        which point no PE is RUNNING — the victim is RUNNABLE or BLOCKED,
+        i.e. its thread is parked in :meth:`_sleep`.  Setting its wake
+        event makes that thread resume, observe the CRASHED state, and
+        unwind via :class:`_CrashUnwind` without ever re-entering user
+        code; the selection loop simply skips it from now on.
+        """
+        rec = self._pes[rank]
+        if rec.state in (PEState.DONE, PEState.FAILED, PEState.CRASHED):
+            return  # finished (or already dead) before the crash landed
+        self.clocks[rank].advance_to(at_cycle)
+        rec.state = PEState.CRASHED
+        rec.predicate = None
+        rec.wakeup_time = None
+        rec.reason = f"crashed at cycle {at_cycle} (injected fault)"
+        self.crashed[rank] = at_cycle
+        if on_crash is not None:
+            on_crash(rank, at_cycle)
+        rec.wake.set()
 
     # ------------------------------------------------------------------
     # Running the simulation
@@ -234,6 +306,18 @@ class CoopScheduler:
             rec.thread.join(timeout=30.0)
         if self._failure is not None:
             raise self._failure
+        if self.crashed:
+            # The run completed around the dead PE(s); report the first
+            # crash so callers know the result is degraded.  Traces
+            # collected so far remain readable (salvageable).
+            rank = min(self.crashed)
+            extra = ""
+            if len(self.crashed) > 1:
+                others = ", ".join(
+                    f"PE {r} at {t}" for r, t in sorted(self.crashed.items())[1:]
+                )
+                extra = f"also crashed: {others}"
+            raise PECrashed(rank, self.crashed[rank], extra)
 
     # ------------------------------------------------------------------
     # Internals
@@ -245,6 +329,11 @@ class CoopScheduler:
             self._sleep(rank)  # wait until the baton first reaches us
             entry(rank)
         except _Abort:
+            return
+        except _CrashUnwind:
+            # Injected crash: this thread just dies.  The crash action
+            # already removed us from scheduling; whoever holds the baton
+            # carries on.
             return
         except BaseException as exc:  # noqa: BLE001 - report any PE failure
             with self._lock:
@@ -267,6 +356,8 @@ class CoopScheduler:
         rec = self._pes[rank]
         rec.wake.wait()
         rec.wake.clear()
+        if rec.state is PEState.CRASHED:
+            raise _CrashUnwind()
         if self._aborting and rec.state is not PEState.RUNNING:
             raise _Abort()
 
@@ -344,8 +435,15 @@ class CoopScheduler:
                     f"  PE {rec.rank}: blocked at cycle "
                     f"{self.clocks[rec.rank].now} ({rec.reason or 'no reason'})"
                 )
+            elif rec.state is PEState.CRASHED:
+                lines.append(
+                    f"  PE {rec.rank}: crashed at cycle "
+                    f"{self.crashed.get(rec.rank, 0)} (injected fault)"
+                )
             else:
                 lines.append(f"  PE {rec.rank}: {rec.state.value}")
+        if self.fault_context is not None:
+            lines.append(self.fault_context())
         return "\n".join(lines)
 
     def _fail_locked(self, rank: int, exc: BaseException) -> None:
@@ -360,7 +458,7 @@ class CoopScheduler:
         if 0 <= rank < self.n_pes:
             self._pes[rank].state = PEState.FAILED
         for rec in self._pes:
-            if rec.state not in (PEState.DONE, PEState.FAILED):
+            if rec.state not in (PEState.DONE, PEState.FAILED, PEState.CRASHED):
                 rec.wake.set()
         self._done.set()
 

@@ -217,3 +217,79 @@ def test_physical_node_hotspot_chart(trace_dir, tmp_path):
     assert (tmp_path / "physical_heatmap_nodes.svg").exists()
     content = (tmp_path / "physical_heatmap_nodes.svg").read_text()
     assert "node-level hotspots" in content
+
+
+# ----------------------------------------------------------------------
+# `actorprof faults` + `actorprof run`
+# ----------------------------------------------------------------------
+
+def test_faults_template_and_check(tmp_path, capsys):
+    plan_path = tmp_path / "plan.json"
+    assert main(["faults", "template", str(plan_path)]) == 0
+    assert plan_path.exists()
+    assert main(["faults", "check", str(plan_path), "--num-pes", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "fault plan" in out and "valid for 4 PEs" in out
+    # the default template crashes PE 1, so a 1-PE job rejects it
+    assert main(["faults", "check", str(plan_path), "--num-pes", "1"]) == 2
+    assert "out of range" in capsys.readouterr().err
+
+
+def test_faults_template_custom_crash(tmp_path, capsys):
+    plan_path = tmp_path / "plan.json"
+    assert main(["faults", "template", str(plan_path),
+                 "--crash", "2:5000", "--drop", "0.25"]) == 0
+    from repro.sim import FaultPlan
+
+    plan = FaultPlan.load(plan_path)
+    assert plan.crashes[0].pe == 2 and plan.crashes[0].at_cycle == 5000
+    assert plan.edges[0].drop == 0.25
+    assert main(["faults", "template", str(plan_path), "--crash", "bogus"]) == 2
+    assert "PE:CYCLE" in capsys.readouterr().err
+
+
+def test_faults_check_rejects_bad_plan(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"typo": 1}')
+    assert main(["faults", "check", str(bad)]) == 2
+    assert "unknown fault plan key" in capsys.readouterr().err
+
+
+def test_run_healthy_exports_archive(tmp_path, capsys):
+    out = tmp_path / "run.aptrc"
+    rc = main(["run", "histogram", "--updates", "500", "--table-size", "128",
+               "-o", str(out)])
+    assert rc == 0
+    assert out.exists()
+    assert "updates delivered" in capsys.readouterr().out
+
+
+def test_run_crash_salvages_degraded_archive(tmp_path, capsys):
+    from repro.core.store.archive import load_run
+    from repro.sim import FaultPlan
+
+    plan_path = tmp_path / "crash.json"
+    FaultPlan.single_crash(1, 50_000).save(plan_path)
+    out = tmp_path / "crashed.aptrc"
+    rc = main(["run", "histogram", "--updates", "500", "--table-size", "128",
+               "--fault-plan", str(plan_path), "-o", str(out)])
+    assert rc == 3  # failed but salvaged
+    captured = capsys.readouterr()
+    assert "salvaged degraded traces" in captured.err
+    traces = load_run(out)
+    assert traces.degraded
+    assert traces.meta["crashed_pes"] == {"1": 50000}
+    # without an archive path the failure is reported but nothing salvaged
+    rc = main(["run", "histogram", "--updates", "500", "--table-size", "128",
+               "--fault-plan", str(plan_path)])
+    assert rc == 1
+
+
+def test_run_rejects_misfit_plan(tmp_path, capsys):
+    from repro.sim import FaultPlan
+
+    plan_path = tmp_path / "crash.json"
+    FaultPlan.single_crash(9, 1_000).save(plan_path)
+    rc = main(["run", "histogram", "--fault-plan", str(plan_path)])
+    assert rc == 2
+    assert "does not fit" in capsys.readouterr().err

@@ -102,3 +102,51 @@ def test_batch_sends_counted():
     run_spmd(program, machine=MachineSpec(1, 4), profiler=live, seed=1)
     assert live.current().total_sends == 25 * 4
     assert len(live.snapshots) >= 1
+
+
+def test_large_batch_emits_one_snapshot_per_boundary():
+    # Regression: a single send_batch crossing several snapshot_every
+    # boundaries used to append only ONE snapshot, silently skipping the
+    # intermediate views.  One batch of 120 sends per PE with
+    # snapshot_every=10 must land 48 snapshots (480 sends / 10), not 4.
+    live = LiveMonitor(snapshot_every=10)
+
+    def program(ctx):
+        arr = np.zeros(8, dtype=np.int64)
+        a = A(ctx, arr)
+        dsts = ctx.rng.integers(0, ctx.n_pes, 120)  # batch >> snapshot_every
+        with ctx.finish():
+            a.start()
+            a.send_batch(dsts, dsts % 8)
+            a.done()
+        return int(arr.sum())
+
+    run_spmd(program, machine=MachineSpec(1, 4), profiler=live, seed=3)
+    total = live.current().total_sends
+    assert total == 120 * 4
+    snaps = live.snapshots
+    assert len(snaps) == total // 10
+    totals = [s.total_sends for s in snaps]
+    assert totals == sorted(totals)
+    # every crossed boundary got exactly one snapshot
+    assert [s.seq for s in snaps] == list(range(len(snaps)))
+
+
+def test_unmatched_finish_end_raises_naming_pe():
+    # Regression: an unmatched finish_end used to drive open_finishes
+    # negative silently; now it must fail loudly and name the PE.
+    live = LiveMonitor(snapshot_every=10)
+
+    class _World:
+        spec = MachineSpec(1, 4)
+
+    live.attach(_World())
+    live.finish_start(2)
+    live.finish_end(2)
+    with pytest.raises(RuntimeError, match="PE 2"):
+        live.finish_end(2)
+    # per-PE tracking: a scope open on PE 1 does not mask PE 3's underflow
+    live.finish_start(1)
+    with pytest.raises(RuntimeError, match="PE 3"):
+        live.finish_end(3)
+    assert live.current().open_finishes == 1
