@@ -11,7 +11,7 @@ vectorize inner loops).
 
 import time
 
-from conftest import once
+from conftest import ROOT_SEED, once
 from repro.apps.triangle import count_triangles
 from repro.core import ActorProf, ProfileFlags
 from repro.experiments.casestudy import case_study_graph, default_scale
@@ -19,13 +19,14 @@ from repro.machine import MachineSpec
 
 
 def test_ablation_batch_handlers(benchmark):
-    graph = case_study_graph(max(default_scale() - 2, 6))
+    graph = case_study_graph(max(default_scale() - 2, 6), seed=ROOT_SEED)
     machine = MachineSpec.perlmutter_like(1, 16)
 
     def run(batch):
         ap = ActorProf(ProfileFlags(enable_trace=True))
         t0 = time.perf_counter()
-        res = count_triangles(graph, machine, "cyclic", profiler=ap, batch=batch)
+        res = count_triangles(graph, machine, "cyclic", profiler=ap, batch=batch,
+                              seed=ROOT_SEED)
         return ap, res, time.perf_counter() - t0
 
     ap_b, res_b, wall_b = once(benchmark, lambda: run(batch=True))

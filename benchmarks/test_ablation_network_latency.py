@@ -8,7 +8,7 @@ higher-latency fabrics, which is why the technique targets large
 distributed machines in the first place.
 """
 
-from conftest import once
+from conftest import ROOT_SEED, once
 from repro.apps.triangle import count_triangles
 from repro.core import ActorProf, ProfileFlags
 from repro.core.analysis import OverallSummary
@@ -18,7 +18,7 @@ from repro.machine import CostModel, MachineSpec
 
 
 def test_ablation_network_latency(benchmark):
-    graph = case_study_graph(max(default_scale() - 1, 6))
+    graph = case_study_graph(max(default_scale() - 1, 6), seed=ROOT_SEED)
     machine = MachineSpec.perlmutter_like(2, 8)
     latencies = (500, 4000, 32000)
 
@@ -26,7 +26,7 @@ def test_ablation_network_latency(benchmark):
         cost = CostModel().scaled(net_latency_cycles=latency)
         ap = ActorProf(ProfileFlags(enable_tcomm_profiling=True))
         count_triangles(
-            graph, machine, "range", profiler=ap, cost=cost,
+            graph, machine, "range", profiler=ap, cost=cost, seed=ROOT_SEED,
             conveyor_config=ConveyorConfig(payload_words=2,
                                            buffer_items=buffer_items),
         )

@@ -8,7 +8,7 @@ the paper's proposed PSHMEM wrapper, (c) ActorProf's in-library
 instrumentation (always 100% by construction).
 """
 
-from conftest import once
+from conftest import ROOT_SEED, once
 from repro.apps.triangle import count_triangles
 from repro.core import ActorProf, ProfileFlags
 from repro.core.baseline import (
@@ -21,14 +21,14 @@ from repro.machine import MachineSpec
 
 
 def test_baseline_profiler_coverage(benchmark):
-    graph = case_study_graph(max(default_scale() - 1, 6))
+    graph = case_study_graph(max(default_scale() - 1, 6), seed=ROOT_SEED)
     machine = MachineSpec.perlmutter_like(2, 8)
 
     def run():
         conv, psh = ConventionalProfiler(), PShmemProfiler()
         ap = ActorProf(ProfileFlags(enable_trace_physical=True))
         res = count_triangles(graph, machine, "cyclic", profiler=ap,
-                              shmem_observers=[conv, psh])
+                              shmem_observers=[conv, psh], seed=ROOT_SEED)
         return conv, psh, ap, res
 
     conv, psh, ap, res = once(benchmark, run)

@@ -9,7 +9,7 @@ and compiled-out macros), while host-side wall time and trace memory grow.
 
 import time
 
-from conftest import once
+from conftest import ROOT_SEED, once
 from repro.apps.triangle import count_triangles
 from repro.core import ActorProf, ProfileFlags
 from repro.experiments.casestudy import case_study_graph, default_scale
@@ -19,16 +19,18 @@ from repro.machine import MachineSpec
 def test_overhead_of_tracing(benchmark):
     # scalar sends so that sample_interval=1 records one PAPI row per send
     # (the paper's per-send trace); scale is reduced accordingly
-    graph = case_study_graph(max(default_scale() - 2, 6))
+    graph = case_study_graph(max(default_scale() - 2, 6), seed=ROOT_SEED)
     machine = MachineSpec.perlmutter_like(1, 16)
 
     def profiled():
         ap = ActorProf(ProfileFlags.all(papi_sample_interval=1))
-        res = count_triangles(graph, machine, "cyclic", profiler=ap, batch=False)
+        res = count_triangles(graph, machine, "cyclic", profiler=ap, batch=False,
+                              seed=ROOT_SEED)
         return ap, res
 
     t0 = time.perf_counter()
-    res_bare = count_triangles(graph, machine, "cyclic", batch=False)
+    res_bare = count_triangles(graph, machine, "cyclic", batch=False,
+                               seed=ROOT_SEED)
     bare_wall = time.perf_counter() - t0
 
     t0 = time.perf_counter()

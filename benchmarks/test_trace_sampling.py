@@ -22,11 +22,12 @@ def test_trace_sampling_fidelity(benchmark, run_1n_cyclic):
     setup = run_1n_cyclic.setup
 
     def run_sampled():
-        graph = case_study_graph(setup.scale, setup.edge_factor, setup.seed)
+        graph = case_study_graph(setup.scale, setup.edge_factor, seed=setup.seed)
         ap = ActorProf(ProfileFlags(enable_trace=True, logical_sample_interval=16))
         dist = make_distribution(setup.distribution, graph, setup.machine.n_pes)
         count_triangles(graph, setup.machine, dist, profiler=ap,
-                        conveyor_config=setup.conveyor_config)
+                        conveyor_config=setup.conveyor_config,
+                        seed=setup.seed)
         return ap
 
     ap = once(benchmark, run_sampled)

@@ -122,6 +122,7 @@ def histogram(
     batch: bool = True,
     validate: bool = True,
     seed: int = 0,
+    schedule_policy=None,
 ) -> HistogramResult:
     """Run the Listing 1–2 histogram: ``n_updates`` random sends per PE."""
     if n_updates < 0:
@@ -149,7 +150,8 @@ def histogram(
         return {"received": received, "total": total}
 
     run = run_spmd(program, machine=machine, cost=cost, profiler=profiler,
-                   conveyor_config=conveyor_config, seed=seed)
+                   conveyor_config=conveyor_config, seed=seed,
+                   schedule_policy=schedule_policy)
     total = run.results[0]["total"]
     if validate:
         expected = n_updates * machine.n_pes

@@ -154,6 +154,7 @@ def count_triangles(
     validate: bool = True,
     seed: int = 0,
     shmem_observers=(),
+    schedule_policy=None,
 ) -> TriangleResult:
     """Run distributed triangle counting; validates against the reference.
 
@@ -170,7 +171,8 @@ def count_triangles(
                                conveyor_config=conveyor_config)
     run = run_spmd(program, machine=machine, cost=cost, profiler=profiler,
                    conveyor_config=conveyor_config, seed=seed,
-                   shmem_observers=shmem_observers)
+                   shmem_observers=shmem_observers,
+                   schedule_policy=schedule_policy)
     totals = {r["total"] for r in run.results}
     if len(totals) != 1:
         raise AssertionError(f"PEs disagree on the triangle total: {totals}")

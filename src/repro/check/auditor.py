@@ -1,0 +1,297 @@
+"""The ActorCheck audit loop: differential execution over K schedules.
+
+:func:`audit` re-executes one workload under every schedule from
+:func:`~repro.check.policies.make_schedules`, replays the baseline (and
+one jittered schedule) to prove per-seed bit-stability, runs the
+invariant engine on every run, and classifies cross-schedule differences:
+
+* **confirmed nondeterminism** — the application result or the logical
+  send matrix changed between two legal schedules, a replay was not
+  byte-identical, or an invariant broke.  The report names the two
+  divergent schedules.
+* **benign reordering** — only schedule-sensitive products changed
+  (physical buffer traffic, region timings, PAPI sample values).  These
+  are expected: the physical trace *documents* the schedule.
+
+The resulting :class:`CheckReport` is machine-readable (``to_dict`` /
+``to_json``) and renders as text for the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.check.invariants import Violation, run_invariants
+from repro.check.policies import PerturbedSchedule, make_schedules
+from repro.check.workloads import RunArtifacts, Workload
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One confirmed nondeterminism finding."""
+
+    kind: str                     # "replay" | "result" | "logical-trace" | "invariant"
+    schedules: tuple[str, str]    # the two divergent schedule labels
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "schedules": list(self.schedules),
+                "detail": self.detail}
+
+    def __str__(self) -> str:
+        a, b = self.schedules
+        return f"[{self.kind}] schedules {a} vs {b}: {self.detail}"
+
+
+@dataclass
+class ScheduleOutcome:
+    """What one schedule's run produced."""
+
+    schedule: PerturbedSchedule
+    description: str
+    result_fingerprint: str
+    logical_fingerprint: str
+    archive_sha256: str
+    violations: list[Violation] = field(default_factory=list)
+    benign: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "schedule": self.schedule.index,
+            "description": self.description,
+            "buffer_items": self.schedule.buffer_items,
+            "jitter": self.schedule.jitter,
+            "result_fingerprint": self.result_fingerprint,
+            "logical_fingerprint": self.logical_fingerprint,
+            "archive_sha256": self.archive_sha256,
+            "violations": [str(v) for v in self.violations],
+            "benign": list(self.benign),
+        }
+
+
+@dataclass
+class CheckReport:
+    """The machine-readable verdict of one ActorCheck audit."""
+
+    workload: str
+    seed: int
+    schedules: int
+    outcomes: list[ScheduleOutcome] = field(default_factory=list)
+    confirmed: list[Divergence] = field(default_factory=list)
+    replays: list[dict] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[tuple[int, Violation]]:
+        return [(o.schedule.index, v)
+                for o in self.outcomes for v in o.violations]
+
+    @property
+    def benign(self) -> list[str]:
+        return [note for o in self.outcomes for note in o.benign]
+
+    @property
+    def verdict(self) -> str:
+        if self.confirmed:
+            return "nondeterminism"
+        if self.violations:
+            return "invariant-violation"
+        return "pass"
+
+    @property
+    def exit_code(self) -> int:
+        return {"pass": 0, "nondeterminism": 4, "invariant-violation": 5}[
+            self.verdict
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "seed": self.seed,
+            "schedules": self.schedules,
+            "verdict": self.verdict,
+            "exit_code": self.exit_code,
+            "replays": list(self.replays),
+            "confirmed": [d.to_dict() for d in self.confirmed],
+            "violations": [
+                {"schedule": idx, "invariant": v.invariant, "detail": v.detail}
+                for idx, v in self.violations
+            ],
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def render(self) -> str:
+        lines = [
+            f"== actorcheck: {self.workload} (seed {self.seed}, "
+            f"{self.schedules} schedules) =="
+        ]
+        for rep in self.replays:
+            state = "byte-identical" if rep["identical"] else "DIVERGED"
+            lines.append(f"replay of schedule {rep['schedule']}: {state}")
+        for o in self.outcomes:
+            mark = "OK " if not o.violations else "BAD"
+            lines.append(f"{mark} {o.description}: "
+                         f"result {o.result_fingerprint[:12]}, "
+                         f"logical {o.logical_fingerprint[:12]}")
+            for v in o.violations:
+                lines.append(f"      violation {v}")
+        benign = self.benign
+        if benign:
+            lines.append(f"benign reordering ({len(benign)}):")
+            for note in benign[:8]:
+                lines.append(f"  - {note}")
+            if len(benign) > 8:
+                lines.append(f"  - ... and {len(benign) - 8} more")
+        for d in self.confirmed:
+            lines.append(f"CONFIRMED {d}")
+        lines.append(f"verdict: {self.verdict}")
+        return "\n".join(lines)
+
+
+def _compare_to_baseline(base: RunArtifacts, other: RunArtifacts,
+                         report: CheckReport,
+                         outcome: ScheduleOutcome) -> None:
+    """Classify differences of ``other`` against the default schedule."""
+    k = other.schedule.index
+    if other.result_fingerprint != base.result_fingerprint:
+        report.confirmed.append(Divergence(
+            "result", (str(base.schedule.index), str(k)),
+            f"application results differ ({base.result_fingerprint[:12]} vs "
+            f"{other.result_fingerprint[:12]}) — the program depends on a "
+            f"schedule don't-care",
+        ))
+    if other.logical_fingerprint != base.logical_fingerprint:
+        report.confirmed.append(Divergence(
+            "logical-trace", (str(base.schedule.index), str(k)),
+            f"logical send matrices differ ({base.logical_fingerprint[:12]} "
+            f"vs {other.logical_fingerprint[:12]}) — sends depend on a "
+            f"schedule don't-care",
+        ))
+    if (other.result_fingerprint == base.result_fingerprint
+            and other.logical_fingerprint == base.logical_fingerprint
+            and other.archive_sha256 != base.archive_sha256):
+        outcome.benign.append(
+            f"schedule {k}: archive bytes differ from schedule "
+            f"{base.schedule.index} while results and logical sends match "
+            f"(physical buffering / timings reordered)"
+        )
+
+
+def _run_one(workload: Workload, schedule: PerturbedSchedule, out_dir: Path,
+             tag: str, fault_plan=None) -> RunArtifacts:
+    import contextlib
+
+    from repro.sim.faults import use_plan
+
+    scope = use_plan(fault_plan) if fault_plan is not None \
+        else contextlib.nullcontext()
+    with scope:
+        return workload.run(schedule, out_dir / f"{tag}.aptrc")
+
+
+def audit(
+    workload: Workload,
+    schedules: int = 8,
+    out_dir: str | Path | None = None,
+    store_equivalence: bool = True,
+    fault_plan=None,
+) -> CheckReport:
+    """Audit ``workload`` under ``schedules`` perturbed-but-legal schedules.
+
+    Parameters
+    ----------
+    workload:
+        The workload to re-execute; its ``seed`` is the audit's root seed
+        (schedule jitter streams derive from it by name, so they never
+        collide with the workload's own RNG use).
+    schedules:
+        K.  Schedule 0 is the default policy (and is replayed to prove
+        bit-stability); 1..K-1 jitter tie-breaks, flush order, and
+        buffer sizes.
+    out_dir:
+        Where the per-schedule ``.aptrc`` archives land (a temporary
+        directory is used — and cleaned up — when omitted).
+    store_equivalence:
+        Also run the archive/CSV round-trip invariant per schedule
+        (disable to speed up very large sweeps).
+    fault_plan:
+        Optional non-fatal :class:`~repro.sim.faults.FaultPlan` applied to
+        every run: a fault plan plus an ActorCheck audit must still be
+        deterministic per seed.  Plans containing crashes are rejected —
+        a crashed run has nothing meaningful to diff.
+    """
+    if schedules < 1:
+        raise ValueError(f"need at least one schedule: {schedules}")
+    if fault_plan is not None and getattr(fault_plan, "crashes", ()):
+        raise ValueError(
+            "ActorCheck audits need complete runs; fault plans with PE "
+            "crashes cannot be audited (drop/delay/duplicate/slow are fine)"
+        )
+    plans = make_schedules(workload.seed, schedules)
+    report = CheckReport(workload=workload.name, seed=workload.seed,
+                         schedules=schedules)
+
+    tmp = None
+    if out_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="actorcheck-")
+        out_dir = Path(tmp.name)
+    else:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    try:
+        baseline = _run_one(workload, plans[0], out_dir, "s0",
+                            fault_plan=fault_plan)
+        arts: dict[int, RunArtifacts] = {0: baseline}
+        for k, plan in enumerate(plans):
+            if k == 0:
+                continue
+            arts[k] = _run_one(workload, plan, out_dir, f"s{k}",
+                               fault_plan=fault_plan)
+        # Replay the baseline — and one jittered schedule, if any — to
+        # prove every (seed, schedule) pair is bit-stable on its own.
+        replay_indices = [0] + ([1] if schedules > 1 else [])
+        for k in replay_indices:
+            replay = _run_one(workload, plans[k], out_dir, f"s{k}-replay",
+                              fault_plan=fault_plan)
+            identical = (
+                replay.archive_sha256 == arts[k].archive_sha256
+                and replay.result_fingerprint == arts[k].result_fingerprint
+            )
+            report.replays.append({"schedule": k, "identical": identical})
+            if not identical:
+                report.confirmed.append(Divergence(
+                    "replay", (str(k), f"{k}-replay"),
+                    "re-running the identical (seed, schedule) pair did not "
+                    "reproduce byte-identical traces — the run depends on "
+                    "state outside the seeded schedule",
+                ))
+        for k, plan in enumerate(plans):
+            art = arts[k]
+            outcome = ScheduleOutcome(
+                schedule=plan,
+                description=plan.describe(),
+                result_fingerprint=art.result_fingerprint,
+                logical_fingerprint=art.logical_fingerprint,
+                archive_sha256=art.archive_sha256,
+                violations=run_invariants(
+                    art, store_equivalence=store_equivalence
+                ),
+            )
+            if k != 0:
+                _compare_to_baseline(baseline, art, report, outcome)
+            report.outcomes.append(outcome)
+        for idx, v in report.violations:
+            report.confirmed.append(Divergence(
+                "invariant", (str(idx), str(idx)),
+                f"invariant broke under schedule {idx}: {v}",
+            ))
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    return report

@@ -1,0 +1,104 @@
+"""Perturbed-but-legal schedules for the ActorCheck auditor.
+
+An FA-BSP execution only constrains a *partial* order: the scheduler may
+break virtual-time ties among runnable PEs in any order, and a PE may
+flush its full per-hop aggregation buffers in any order.  Everything a
+correct program computes must be invariant under those don't-care
+choices.  This module enumerates K concrete resolutions of them:
+
+* schedule 0 is the default (byte-identical to historical behaviour) and
+  is *replayed* to prove bit-stability,
+* schedules 1..K-1 draw tie-breaks and flush permutations from named
+  :func:`~repro.sim.rng.substream_rng` streams, so each schedule is
+  itself perfectly reproducible from ``(root_seed, index)``,
+* even-indexed jittered schedules additionally sweep the conveyor
+  ``buffer_items`` capacity, changing aggregation batching (and thereby
+  arrival interleavings) without changing any logical send.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.sim.rng import substream_rng
+from repro.sim.scheduler import DEFAULT_POLICY, SchedulePolicy
+
+#: ``buffer_items`` capacities swept by even-indexed jittered schedules.
+BUFFER_SWEEP: tuple[int, ...] = (4, 16, 128)
+
+
+class JitterPolicy(SchedulePolicy):
+    """Seeded random resolution of the scheduler's don't-care choices.
+
+    Each instance owns two private RNG streams derived from
+    ``(root_seed, "actorcheck", index, ...)``, so two policies built with
+    the same arguments replay the exact same run, while distinct indices
+    explore distinct interleavings.  Instances are stateful (streams are
+    consumed as the run asks questions) — build a fresh one per run.
+    """
+
+    def __init__(self, root_seed: int, index: int) -> None:
+        if index < 1:
+            raise ValueError(f"jitter index must be >= 1 (0 is the default "
+                             f"schedule): {index}")
+        self.root_seed = root_seed
+        self.index = index
+        self._tie = substream_rng(root_seed, "actorcheck", index, "tiebreak")
+        self._flush = substream_rng(root_seed, "actorcheck", index, "flush")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"JitterPolicy(root_seed={self.root_seed}, index={self.index})"
+
+    def tie_break(self, time: int, ranks: Sequence[int]) -> int:
+        return ranks[int(self._tie.integers(len(ranks)))]
+
+    def flush_order(self, pe: int, hops: Sequence[int]) -> Sequence[int]:
+        order = list(hops)
+        self._flush.shuffle(order)
+        return order
+
+
+@dataclass(frozen=True)
+class PerturbedSchedule:
+    """One legal schedule the auditor executes a workload under."""
+
+    index: int
+    root_seed: int
+    jitter: bool
+    #: Conveyor ``buffer_items`` override; None keeps the workload default.
+    buffer_items: int | None = None
+
+    def policy(self) -> SchedulePolicy:
+        """A fresh policy instance for one run under this schedule."""
+        if not self.jitter:
+            return DEFAULT_POLICY
+        return JitterPolicy(self.root_seed, self.index)
+
+    def describe(self) -> str:
+        parts = ["default" if not self.jitter else "jitter"]
+        if self.buffer_items is not None:
+            parts.append(f"buffer_items={self.buffer_items}")
+        return f"schedule {self.index} ({', '.join(parts)})"
+
+
+def make_schedules(root_seed: int, k: int) -> list[PerturbedSchedule]:
+    """The K schedules ``actorprof check --schedules K`` audits.
+
+    Index 0 is always the default schedule (the determinism baseline);
+    the rest jitter tie-breaks and flush order, with every second
+    jittered schedule also sweeping ``buffer_items`` through
+    :data:`BUFFER_SWEEP`.
+    """
+    if k < 1:
+        raise ValueError(f"need at least one schedule: {k}")
+    schedules = [PerturbedSchedule(index=0, root_seed=root_seed, jitter=False)]
+    for i in range(1, k):
+        buffer_items = None
+        if i % 2 == 0:
+            buffer_items = BUFFER_SWEEP[(i // 2 - 1) % len(BUFFER_SWEEP)]
+        schedules.append(PerturbedSchedule(
+            index=i, root_seed=root_seed, jitter=True,
+            buffer_items=buffer_items,
+        ))
+    return schedules

@@ -48,6 +48,7 @@ from repro.conveyors.topology import Topology, make_topology
 from repro.shmem.runtime import ShmemRuntime
 from repro.sim.errors import FaultError, SimulationError
 from repro.sim.faults import FaultInjector
+from repro.sim.scheduler import DEFAULT_POLICY, SchedulePolicy
 
 
 @dataclass(frozen=True)
@@ -112,11 +113,14 @@ class ConveyorGroup:
         config: ConveyorConfig | None = None,
         tracer: TraceSink | None = None,
         faults: FaultInjector | None = None,
+        policy: SchedulePolicy | None = None,
     ) -> None:
         self.runtime = runtime
         self.config = config or ConveyorConfig()
         self.tracer: TraceSink = tracer if tracer is not None else NullTraceSink()
         self.faults = faults
+        #: Resolves the flush-order don't-care (ActorCheck's jitter seam).
+        self.policy: SchedulePolicy = policy if policy is not None else DEFAULT_POLICY
         self.topology: Topology = make_topology(self.config.topology, runtime.spec)
         self.live = 0  # pushed-but-not-yet-pulled items, globally
         self.done = [False] * runtime.spec.n_pes
@@ -407,12 +411,17 @@ class Conveyor:
             )
 
     def _flush(self, partial: bool) -> None:
-        for hop in sorted(self.out):
+        hops = [h for h in sorted(self.out)
+                if not self.out[h].empty and (self.out[h].full or partial)]
+        if not hops:
+            return
+        if len(hops) > 1:
+            hops = list(self.group.policy.flush_order(self.me, hops))
+        for hop in hops:
             buf = self.out[hop]
             if buf.empty:
                 continue
-            if buf.full or partial:
-                self._flush_buffer(hop, buf)
+            self._flush_buffer(hop, buf)
 
     def _flush_buffer(self, hop: int, buf: OutBuffer) -> None:
         rows = buf.take()

@@ -136,6 +136,8 @@ def main(argv: list[str] | None = None) -> int:
         return _faults_main(argv[1:])
     if argv and argv[0] == "run":
         return _run_main(argv[1:])
+    if argv and argv[0] == "check":
+        return _check_main(argv[1:])
     args = build_parser().parse_args(argv)
     if not (args.logical or args.papi or args.overall or args.physical
             or args.timeline or args.query or args.export_archive):
@@ -432,6 +434,8 @@ def _runs_main(argv: list[str]) -> int:
             print(f"run:     {info.run_id}")
             print(f"file:    {info.path} ({info.size_bytes:,} bytes)")
             print(f"created: {info.created}")
+            if info.fingerprint:
+                print(f"sha256:  {info.fingerprint}")
             for key in sorted(info.meta):
                 print(f"meta.{key}: {info.meta[key]}")
             with Archive(info.path) as archive:
@@ -613,7 +617,7 @@ def _run_main(argv: list[str]) -> int:
                 from repro.apps.triangle import count_triangles
                 from repro.experiments.casestudy import case_study_graph
 
-                graph = case_study_graph(args.scale)
+                graph = case_study_graph(args.scale, seed=args.seed)
                 res = count_triangles(
                     graph, spec, args.distribution, profiler=profiler,
                     seed=args.seed,
@@ -645,6 +649,137 @@ def _run_main(argv: list[str]) -> int:
     print(f"salvaged degraded traces → {path} "
           f"({path.stat().st_size:,} bytes)", file=sys.stderr)
     return 3
+
+
+# ----------------------------------------------------------------------
+# `actorprof check` — the ActorCheck determinism auditor
+# ----------------------------------------------------------------------
+
+def _check_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="actorprof check",
+        description="audit a workload for schedule nondeterminism: "
+                    "re-execute it under K perturbed-but-legal schedules "
+                    "(tie-break permutation, flush-order jitter, buffer "
+                    "sweeps), verify trace invariants, and diff the runs. "
+                    "Exit 0 = deterministic, 4 = confirmed nondeterminism, "
+                    "5 = invariant violation.",
+    )
+    parser.add_argument("workload", choices=("histogram", "triangle",
+                                             "generated"),
+                        help="which workload to audit")
+    parser.add_argument("--schedules", type=int, default=8, metavar="K",
+                        help="number of perturbed schedules (default 8; "
+                             "schedule 0 is the default policy)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root seed for the workload AND the schedule "
+                             "jitter streams (default 0)")
+    parser.add_argument("--nodes", type=int, default=2,
+                        help="simulated nodes (default 2)")
+    parser.add_argument("--pes-per-node", type=int, default=2,
+                        help="PEs per node (default 2)")
+    parser.add_argument("--updates", type=int, default=400,
+                        help="histogram: updates per PE (default 400)")
+    parser.add_argument("--table-size", type=int, default=64,
+                        help="histogram: table slots per PE (default 64)")
+    parser.add_argument("--scale", type=int, default=6,
+                        help="triangle: R-MAT scale (default 6)")
+    parser.add_argument("--distribution", default="cyclic",
+                        choices=("cyclic", "range", "block"),
+                        help="triangle: row distribution (default cyclic)")
+    parser.add_argument("--programs", type=int, default=2, metavar="N",
+                        help="generated: audit N random actor programs "
+                             "(default 2)")
+    parser.add_argument("--fault-plan", type=Path, default=None,
+                        metavar="PLAN.json",
+                        help="audit under a non-fatal fault plan (drop/"
+                             "delay/duplicate/slow; crashes are rejected)")
+    parser.add_argument("--report", type=Path, default=None, metavar="PATH",
+                        help="write the machine-readable JSON verdict(s) "
+                             "to PATH")
+    parser.add_argument("--keep-archives", type=Path, default=None,
+                        metavar="DIR",
+                        help="keep every schedule's .aptrc archive in DIR "
+                             "(default: temporary, deleted)")
+    parser.add_argument("--skip-store-check", action="store_true",
+                        help="skip the archive/CSV round-trip invariant "
+                             "(faster for large sweeps)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="only print the verdict line(s)")
+    return parser
+
+
+def _check_main(argv: list[str]) -> int:
+    import json
+
+    from repro.check import (
+        GeneratedWorkload,
+        HistogramWorkload,
+        TriangleWorkload,
+        audit,
+        generate_spec,
+    )
+    from repro.machine.spec import MachineSpec
+
+    args = _check_parser().parse_args(argv)
+    if args.schedules < 1:
+        print(f"--schedules must be >= 1: {args.schedules}", file=sys.stderr)
+        return 2
+    fault_plan = None
+    if args.fault_plan is not None:
+        from repro.sim.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.load(args.fault_plan)
+        except (ValueError, OSError) as exc:
+            print(f"bad fault plan: {exc}", file=sys.stderr)
+            return 2
+    spec = MachineSpec(args.nodes, args.pes_per_node)
+    workloads = []
+    if args.workload == "histogram":
+        workloads.append(HistogramWorkload(
+            updates=args.updates, table_size=args.table_size,
+            machine=spec, seed=args.seed,
+        ))
+    elif args.workload == "triangle":
+        workloads.append(TriangleWorkload(
+            scale=args.scale, distribution=args.distribution,
+            machine=spec, seed=args.seed,
+        ))
+    else:
+        for i in range(args.programs):
+            workloads.append(GeneratedWorkload(
+                generate_spec(args.seed, i), machine=spec, seed=args.seed,
+                name=f"generated-{i}",
+            ))
+    reports = []
+    try:
+        for workload in workloads:
+            out_dir = None
+            if args.keep_archives is not None:
+                out_dir = args.keep_archives / workload.name
+            report = audit(
+                workload,
+                schedules=args.schedules,
+                out_dir=out_dir,
+                store_equivalence=not args.skip_store_check,
+                fault_plan=fault_plan,
+            )
+            reports.append(report)
+            if args.quiet:
+                print(f"{workload.name}: {report.verdict}")
+            else:
+                print(report.render())
+    except ValueError as exc:
+        print(f"check failed: {exc}", file=sys.stderr)
+        return 2
+    if args.report is not None:
+        payload = (reports[0].to_dict() if len(reports) == 1
+                   else [r.to_dict() for r in reports])
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote verdict report → {args.report}")
+    return max(r.exit_code for r in reports)
 
 
 # ----------------------------------------------------------------------

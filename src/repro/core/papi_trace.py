@@ -191,9 +191,18 @@ def parse_papi_dir(directory: str | Path, n_pes: int) -> PAPITrace:
 
     Region totals are not stored in the CSV; after parsing,
     ``totals_per_pe`` is reconstructed from each PE's final row.
+
+    Malformed input — non-integer fields, rows whose column count does not
+    match the event header (a mixed-schema file), PE indices outside
+    ``[0, n_pes)``, or headers that disagree across PEs — raises
+    :class:`ValueError` with a ``path:line`` prefix pointing at the first
+    offending row.
     """
+    if n_pes < 1:
+        raise ValueError(f"n_pes must be >= 1, got {n_pes}")
     directory = Path(directory)
     events: tuple[str, ...] | None = None
+    header_origin = ""
     all_rows: list[list[tuple]] = []
     max_node = 0
     for pe in range(n_pes):
@@ -202,7 +211,7 @@ def parse_papi_dir(directory: str | Path, n_pes: int) -> PAPITrace:
             raise FileNotFoundError(f"missing PAPI trace file {path}")
         rows: list[tuple] = []
         with path.open() as f:
-            for line in f:
+            for lineno, line in enumerate(f, start=1):
                 line = line.strip()
                 if not line:
                     continue
@@ -211,25 +220,52 @@ def parse_papi_dir(directory: str | Path, n_pes: int) -> PAPITrace:
                     evs = tuple(c for c in cols if c.startswith("PAPI_"))
                     if events is None:
                         events = evs
+                        header_origin = f"{path}:{lineno}"
                     elif events != evs:
-                        raise ValueError("inconsistent event headers across PEs")
+                        raise ValueError(
+                            f"{path}:{lineno}: PAPI event header {evs} "
+                            f"disagrees with {events} from {header_origin}"
+                        )
                     continue
-                parts = [int(x) for x in line.split(",")]
+                if events is None:
+                    raise ValueError(
+                        f"{path}:{lineno}: PAPI data row before any event "
+                        f"header (expected a '# …' header line first)"
+                    )
+                try:
+                    parts = [int(x) for x in line.split(",")]
+                except ValueError:
+                    raise ValueError(
+                        f"{path}:{lineno}: malformed PAPI trace line: "
+                        f"{line!r} (all fields must be integers)"
+                    ) from None
+                expected = 7 + len(events)
+                if len(parts) != expected:
+                    raise ValueError(
+                        f"{path}:{lineno}: PAPI row has {len(parts)} fields "
+                        f"but the header at {header_origin} implies "
+                        f"{expected} (7 fixed + {len(events)} events) — "
+                        f"mixed-schema file?"
+                    )
+                for label, val in (("source", parts[1]),
+                                   ("destination", parts[3])):
+                    if not 0 <= val < n_pes:
+                        raise ValueError(
+                            f"{path}:{lineno}: {label} PE {val} out of "
+                            f"range for n_pes={n_pes}"
+                        )
                 rows.append(tuple(parts))
                 max_node = max(max_node, parts[0], parts[2])
         all_rows.append(rows)
     if events is None:
-        raise ValueError("no PAPI event header found in any file")
+        raise ValueError(f"no PAPI event header found in any file under {directory}")
     nodes = max_node + 1
     ppn = n_pes // nodes if n_pes % nodes == 0 else n_pes
     spec = MachineSpec(n_pes // ppn, ppn)
     trace = PAPITrace(spec, events)
-    ne = len(events)
     for pe, rows in enumerate(all_rows):
         for parts in rows:
             (_sn, src, _dn, dst, pkt, mb, ns), vals = parts[:7], parts[7:]
-            if len(vals) != ne:
-                raise ValueError(f"PAPI row has {len(vals)} values for {ne} events")
             trace.record(src, dst, pkt, mb, ns, vals)
         if rows:
             # last row carries the cumulative totals; attribute to MAIN for

@@ -15,6 +15,7 @@ never leaves a half-written manifest.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import re
@@ -35,6 +36,14 @@ class RegistryError(ValueError):
     """Raised for unknown run ids or a corrupt registry."""
 
 
+def _sha256_file(path: Path) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
 @dataclass(frozen=True)
 class RunInfo:
     """One registered run."""
@@ -44,6 +53,11 @@ class RunInfo:
     created: str
     size_bytes: int
     meta: dict
+    #: sha256 of the archive file.  Archives are written without
+    #: timestamps, so two runs of the same (seed, schedule, workload)
+    #: produce the SAME fingerprint — this is the registry-level
+    #: reproducibility receipt ActorCheck's replay audit relies on.
+    fingerprint: str = ""
 
     def describe(self) -> str:
         """One-line summary used by ``actorprof runs list``."""
@@ -53,8 +67,9 @@ class RunInfo:
             shape = f"{m['nodes']}x{m['pes_per_node']} PEs"
         app = m.get("app", "")
         degraded = "[degraded]" if m.get("degraded") else ""
-        bits = [b for b in (app, shape, degraded, f"{self.size_bytes:,} B",
-                            self.created) if b]
+        finger = self.fingerprint[:12] if self.fingerprint else ""
+        bits = [b for b in (app, shape, degraded, finger,
+                            f"{self.size_bytes:,} B", self.created) if b]
         return f"{self.run_id:<24} " + "  ".join(bits)
 
 
@@ -99,6 +114,7 @@ class RunRegistry:
             created=entry.get("created", ""),
             size_bytes=int(entry.get("size_bytes", 0)),
             meta=entry.get("meta", {}),
+            fingerprint=entry.get("fingerprint", ""),
         )
 
     # -- operations -------------------------------------------------------
@@ -137,6 +153,7 @@ class RunRegistry:
             "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
             "size_bytes": dest.stat().st_size,
             "meta": meta,
+            "fingerprint": _sha256_file(dest),
         }
         runs[run_id] = entry
         self._save(data)

@@ -119,6 +119,7 @@ def run_case_study(
         profiler=profiler,
         conveyor_config=setup.conveyor_config,
         validate=True,
+        seed=setup.seed,
     )
     run = CaseStudyRun(setup=setup, result=result, profiler=profiler, graph=graph)
     _RUN_CACHE[setup] = run

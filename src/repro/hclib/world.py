@@ -28,7 +28,7 @@ from repro.shmem.runtime import ShmemContext, ShmemRuntime
 from repro.sim.errors import SimulationError
 from repro.sim.faults import FaultInjector, FaultPlan, current_plan
 from repro.sim.rng import spawn_rngs
-from repro.sim.scheduler import CoopScheduler
+from repro.sim.scheduler import CoopScheduler, SchedulePolicy
 
 
 class _SelectorSlot:
@@ -58,6 +58,7 @@ class _SelectorSlot:
                 ),
                 tracer=world.physical_tracer,
                 faults=world.faults,
+                policy=world.schedule_policy,
             )
             for w in payload_words
         ]
@@ -76,9 +77,11 @@ class World:
         seed: int = 0,
         log_shmem_calls: bool = False,
         fault_plan: FaultPlan | None = None,
+        schedule_policy: SchedulePolicy | None = None,
     ) -> None:
         self.spec = spec
-        self.scheduler = CoopScheduler(spec.n_pes)
+        self.scheduler = CoopScheduler(spec.n_pes, policy=schedule_policy)
+        self.schedule_policy: SchedulePolicy = self.scheduler.policy
         self.shmem = ShmemRuntime(self.scheduler, spec, cost=cost, log_calls=log_shmem_calls)
         self.cost = self.shmem.cost
         self.conveyor_config = conveyor_config or ConveyorConfig()
@@ -236,12 +239,19 @@ class FinishScope:
                 else:
                     # Nothing in flight to us yet: wake when anything is
                     # delivered here (even future-stamped — the next loop
-                    # iteration re-blocks with its arrival time) or when
-                    # the conveyors quiesce globally.
+                    # iteration re-blocks with its arrival time), when the
+                    # conveyors quiesce globally, or when a chained done
+                    # becomes ready to fire.  The cascade clause matters:
+                    # group completion needs done() from EVERY endpoint,
+                    # so an idle PE must wake to cascade its own — without
+                    # this, a PE that drained its messages before the
+                    # predecessor mailbox completed globally sleeps
+                    # forever and the finish deadlocks.
                     ctx.scheduler.block(
                         ctx.rank,
                         predicate=lambda: all_complete()
-                        or any(s._has_any_inbound() for s in sels),
+                        or any(s._has_any_inbound() for s in sels)
+                        or any(s._cascade_pending() for s in sels),
                         reason="finish drain (idle)",
                     )
             else:
@@ -366,6 +376,7 @@ def run_spmd(
     log_shmem_calls: bool = False,
     shmem_observers: Sequence[Any] = (),
     fault_plan: FaultPlan | None = None,
+    schedule_policy: SchedulePolicy | None = None,
 ) -> RunResult:
     """Run an SPMD FA-BSP ``program`` on a simulated ``machine``.
 
@@ -394,6 +405,11 @@ def run_spmd(
         inject (crashes, message drop/duplicate/delay, slow PEs).  When
         omitted, the ambient :func:`~repro.sim.faults.use_plan` default
         (if any) applies.
+    schedule_policy:
+        A :class:`~repro.sim.scheduler.SchedulePolicy` resolving the
+        scheduler's don't-care choices (tie-breaks, flush order).  None
+        uses the default, byte-identical-to-historical policy.  ActorCheck
+        (:mod:`repro.check`) passes perturbed policies here.
 
     Returns
     -------
@@ -408,6 +424,7 @@ def run_spmd(
         seed=seed,
         log_shmem_calls=log_shmem_calls,
         fault_plan=fault_plan,
+        schedule_policy=schedule_policy,
     )
     for observer in shmem_observers:
         observer.attach(world.shmem)

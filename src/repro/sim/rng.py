@@ -9,6 +9,8 @@ scheduling order or PE count changes elsewhere in the program.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 
@@ -18,6 +20,41 @@ def spawn_rngs(seed: int, n: int) -> list[np.random.Generator]:
         raise ValueError(f"cannot spawn a negative number of rngs: {n}")
     ss = np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in ss.spawn(n)]
+
+
+def _path_word(part: int | str) -> int:
+    """Map one substream-path component to a 32-bit spawn-key word.
+
+    Integers pass through (mod 2**32 — SeedSequence keys are uint32
+    words); strings hash via SHA-256 so the mapping is stable across
+    Python processes (``hash()`` is salted) and platforms.
+    """
+    if isinstance(part, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError(f"substream path component must be int or str, not bool: {part}")
+    if isinstance(part, int):
+        return part % (1 << 32)
+    if isinstance(part, str):
+        digest = hashlib.sha256(part.encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "little")
+    raise TypeError(
+        f"substream path component must be int or str, not {type(part).__name__}: {part!r}"
+    )
+
+
+def substream_seed(root: int, *path: int | str) -> np.random.SeedSequence:
+    """Derive a named, collision-resistant sub-seed from ``root``.
+
+    Every independent consumer of randomness names its stream by a path —
+    ``substream_seed(root, "actorcheck", "tiebreak", k)`` — so adding a new
+    consumer (or re-ordering calls) can never shift another's stream.  The
+    same ``(root, path)`` always yields the same stream.
+    """
+    return np.random.SeedSequence(root % (1 << 64), spawn_key=tuple(_path_word(p) for p in path))
+
+
+def substream_rng(root: int, *path: int | str) -> np.random.Generator:
+    """A :class:`numpy.random.Generator` over :func:`substream_seed`."""
+    return np.random.default_rng(substream_seed(root, *path))
 
 
 def pe_rng(seed: int, rank: int) -> np.random.Generator:

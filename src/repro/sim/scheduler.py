@@ -45,6 +45,37 @@ from repro.sim.errors import DeadlockError, PECrashed, PEFailure, SimulationErro
 from repro.sim.events import EventQueue
 
 
+class SchedulePolicy:
+    """Pluggable resolution of the scheduler's *don't-care* choices.
+
+    The FA-BSP semantics only pin the selection rule down to a partial
+    order: among the candidates sharing the minimum virtual time, any
+    pick is a legal schedule (real SHMEM jobs resolve such ties by OS
+    noise).  The same freedom exists in the order a PE flushes its
+    per-hop conveyor buffers.  ActorCheck (:mod:`repro.check`) exploits
+    this seam to re-execute a workload under systematically perturbed
+    but legal schedules and diff the traces.
+
+    The base class is the default policy and reproduces the historical
+    behavior byte-for-byte: lowest rank wins ties, buffers flush in
+    ascending hop order.
+    """
+
+    def tie_break(self, time: int, ranks: Sequence[int]) -> int:
+        """Pick the PE to run among ``ranks`` (ascending, all eligible
+        at virtual ``time``).  Must return one of ``ranks``."""
+        return ranks[0]
+
+    def flush_order(self, pe: int, hops: Sequence[int]) -> Sequence[int]:
+        """Order in which PE ``pe`` flushes its non-empty per-hop
+        buffers.  ``hops`` arrives ascending; return a permutation."""
+        return hops
+
+
+#: Shared default policy instance (stateless, so sharing is safe).
+DEFAULT_POLICY = SchedulePolicy()
+
+
 class PEState(enum.Enum):
     """Lifecycle of a simulated PE within the scheduler."""
 
@@ -106,10 +137,11 @@ class CoopScheduler:
     The scheduler is single-use: construct one per simulation run.
     """
 
-    def __init__(self, n_pes: int) -> None:
+    def __init__(self, n_pes: int, policy: SchedulePolicy | None = None) -> None:
         if n_pes <= 0:
             raise ValueError(f"need at least one PE, got {n_pes}")
         self.n_pes = n_pes
+        self.policy: SchedulePolicy = policy if policy is not None else DEFAULT_POLICY
         self.clocks: list[CycleClock] = [CycleClock() for _ in range(n_pes)]
         self.events = EventQueue()
         self._pes = [_PERecord(r) for r in range(n_pes)]
@@ -392,35 +424,45 @@ class CoopScheduler:
         PEs remain but nothing can make progress.
         """
         while True:
-            best: _PERecord | None = None
-            best_key: tuple[int, int] | None = None
+            best_time: int | None = None
+            tied: list[_PERecord] = []  # candidates at best_time, rank-ascending
             any_blocked = False
             for rec in self._pes:
                 if rec.state is PEState.RUNNABLE:
-                    key = (self.clocks[rec.rank].now, rec.rank)
+                    t = self.clocks[rec.rank].now
                 elif rec.state is PEState.BLOCKED:
                     any_blocked = True
                     if rec.predicate is not None and self._safe_pred(rec):
-                        key = (self.clocks[rec.rank].now, rec.rank)
+                        t = self.clocks[rec.rank].now
                     elif rec.wakeup_time is not None:
-                        key = (
-                            max(self.clocks[rec.rank].now, rec.wakeup_time),
-                            rec.rank,
-                        )
+                        t = max(self.clocks[rec.rank].now, rec.wakeup_time)
                     else:
                         continue
                 else:
                     continue
-                if best_key is None or key < best_key:
-                    best, best_key = rec, key
+                if best_time is None or t < best_time:
+                    best_time, tied = t, [rec]
+                elif t == best_time:
+                    tied.append(rec)
             ev_time = self.events.next_time()
-            if ev_time is not None and (best_key is None or ev_time < best_key[0]):
+            if ev_time is not None and (best_time is None or ev_time < best_time):
                 ev = self.events.pop_next()
                 assert ev is not None
                 ev.action()
                 continue  # re-evaluate: the action may have changed the world
-            if best is not None:
-                return best
+            if tied:
+                if len(tied) == 1:
+                    return tied[0]
+                assert best_time is not None
+                ranks = [rec.rank for rec in tied]
+                chosen = self.policy.tie_break(best_time, ranks)
+                for rec in tied:
+                    if rec.rank == chosen:
+                        return rec
+                raise SimulationError(
+                    f"schedule policy {self.policy!r} picked PE {chosen}, "
+                    f"which is not among the tied candidates {ranks}"
+                )
             if any_blocked:
                 raise DeadlockError(self._deadlock_report_locked())
             # No runnable, no blocked, no events: everything is DONE/FAILED.

@@ -1,0 +1,81 @@
+"""Tests for ActorCheck's perturbed-but-legal schedule policies."""
+
+import pytest
+
+from repro.check.policies import BUFFER_SWEEP, JitterPolicy, make_schedules
+from repro.sim.scheduler import DEFAULT_POLICY
+
+
+def test_default_policy_is_identity():
+    """Schedule 0 must reproduce historical behaviour exactly."""
+    assert DEFAULT_POLICY.tie_break(100, [3, 1, 2]) == 3
+    assert list(DEFAULT_POLICY.flush_order(0, [5, 2, 7])) == [5, 2, 7]
+
+
+def test_jitter_policy_rejects_index_zero():
+    with pytest.raises(ValueError, match="index must be >= 1"):
+        JitterPolicy(0, 0)
+
+
+def test_jitter_tie_break_is_legal():
+    pol = JitterPolicy(7, 1)
+    ranks = [4, 9, 2, 6]
+    for _ in range(50):
+        assert pol.tie_break(10, ranks) in ranks
+
+
+def test_jitter_flush_order_is_permutation():
+    pol = JitterPolicy(7, 1)
+    hops = [3, 0, 5, 1]
+    for _ in range(50):
+        assert sorted(pol.flush_order(0, hops)) == sorted(hops)
+
+
+def test_jitter_policy_replays_exactly():
+    """Two policies built from the same (seed, index) answer identically."""
+    a, b = JitterPolicy(42, 3), JitterPolicy(42, 3)
+    ranks = list(range(8))
+    assert [a.tie_break(0, ranks) for _ in range(64)] == \
+           [b.tie_break(0, ranks) for _ in range(64)]
+    assert [list(a.flush_order(1, ranks)) for _ in range(64)] == \
+           [list(b.flush_order(1, ranks)) for _ in range(64)]
+
+
+def test_distinct_indices_give_distinct_streams():
+    ranks = list(range(8))
+    a = JitterPolicy(42, 1)
+    b = JitterPolicy(42, 2)
+    seq1 = [a.tie_break(0, ranks) for _ in range(64)]
+    seq2 = [b.tie_break(0, ranks) for _ in range(64)]
+    assert seq1 != seq2
+
+
+def test_make_schedules_shape():
+    plans = make_schedules(0, 8)
+    assert len(plans) == 8
+    assert [p.index for p in plans] == list(range(8))
+    # schedule 0 is the default baseline
+    assert not plans[0].jitter and plans[0].buffer_items is None
+    assert plans[0].policy() is DEFAULT_POLICY
+    # everything else jitters
+    assert all(p.jitter for p in plans[1:])
+    # odd indices keep the workload's buffer size, even ones sweep it
+    assert all(plans[i].buffer_items is None for i in (1, 3, 5, 7))
+    assert [plans[i].buffer_items for i in (2, 4, 6)] == list(BUFFER_SWEEP)
+
+
+def test_make_schedules_buffer_sweep_wraps():
+    plans = make_schedules(0, 10)
+    assert plans[8].buffer_items == BUFFER_SWEEP[0]
+
+
+def test_make_schedules_rejects_k_zero():
+    with pytest.raises(ValueError, match="at least one schedule"):
+        make_schedules(0, 0)
+
+
+def test_describe_mentions_perturbations():
+    plans = make_schedules(0, 3)
+    assert plans[0].describe() == "schedule 0 (default)"
+    assert "jitter" in plans[1].describe()
+    assert f"buffer_items={BUFFER_SWEEP[0]}" in plans[2].describe()

@@ -1,0 +1,71 @@
+"""Golden-archive regression tests.
+
+``tests/golden/`` holds one checked-in ``.aptrc`` archive per case study,
+built from a fixed root seed under the default schedule.  The tests
+rebuild each archive from scratch and assert *byte identity* — any drift
+in the RNG streams, the scheduler, the conveyor batching, the profiler,
+or the archive codec shows up here first.
+
+Regenerate (only after an intentional format/behaviour change) with::
+
+    PYTHONPATH=src python tests/test_golden_archives.py
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check.policies import make_schedules
+from repro.check.workloads import HistogramWorkload, TriangleWorkload
+from repro.machine.spec import MachineSpec
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: name -> workload factory; every golden archive is schedule 0, seed 0.
+GOLDEN_WORKLOADS = {
+    "histogram": lambda: HistogramWorkload(
+        updates=200, table_size=32, machine=MachineSpec(2, 2), seed=0),
+    "triangle": lambda: TriangleWorkload(
+        scale=6, distribution="cyclic", machine=MachineSpec(2, 2), seed=0),
+}
+
+
+def _build(name: str, out_path: Path) -> Path:
+    workload = GOLDEN_WORKLOADS[name]()
+    schedule = make_schedules(workload.seed, 1)[0]
+    art = workload.run(schedule, out_path)
+    return art.archive_path
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_WORKLOADS))
+def test_rebuild_is_byte_identical_to_golden(name, tmp_path):
+    golden = GOLDEN_DIR / f"{name}.aptrc"
+    assert golden.exists(), (
+        f"missing golden archive {golden}; regenerate with "
+        f"`PYTHONPATH=src python {Path(__file__).name}`"
+    )
+    rebuilt = _build(name, tmp_path / f"{name}.aptrc")
+    assert rebuilt.read_bytes() == golden.read_bytes(), (
+        f"rebuilt {name} archive differs from {golden} — the profiled "
+        f"execution or the archive format drifted; if intentional, "
+        f"regenerate the goldens and call it out in the changelog"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_WORKLOADS))
+def test_golden_archives_load(name):
+    from repro.core.store.archive import load_run
+
+    golden = GOLDEN_DIR / f"{name}.aptrc"
+    run = load_run(golden)
+    assert run.logical is not None
+    assert run.logical.total_sends() > 0
+    assert run.meta["workload"] == name
+    assert run.meta["seed"] == 0
+
+
+if __name__ == "__main__":  # golden regeneration entry point
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name in sorted(GOLDEN_WORKLOADS):
+        path = _build(name, GOLDEN_DIR / f"{name}.aptrc")
+        print(f"regenerated {path} ({path.stat().st_size:,} bytes)")

@@ -1,0 +1,175 @@
+"""Error-path tests for the three trace parsers.
+
+Every malformed input must fail with an actionable ``path:line``-prefixed
+message — truncated rows, out-of-range PEs, mixed schemas — never a bare
+``ValueError: invalid literal``.
+"""
+
+import pytest
+
+from repro.core.logical import parse_logical_dir
+from repro.core.papi_trace import PAPITrace, parse_papi_dir
+from repro.core.physical import parse_physical_file
+from repro.machine.spec import MachineSpec
+
+# ----------------------------------------------------------------------
+# logical (PEi_send.csv)
+# ----------------------------------------------------------------------
+
+
+def _write_logical(tmp_path, pe0_lines, n_pes=2):
+    for pe in range(n_pes):
+        lines = pe0_lines if pe == 0 else ["0,1,0,0,8"]
+        (tmp_path / f"PE{pe}_send.csv").write_text(
+            "# src node, src pe, dst node, dst pe, size\n"
+            + "\n".join(lines) + "\n"
+        )
+    return tmp_path
+
+
+def test_logical_missing_file(tmp_path):
+    (tmp_path / "PE0_send.csv").write_text("0,0,0,1,8\n")
+    with pytest.raises(FileNotFoundError, match="PE1_send.csv"):
+        parse_logical_dir(tmp_path, 2)
+
+
+def test_logical_truncated_row(tmp_path):
+    _write_logical(tmp_path, ["0,0,0,1"])
+    with pytest.raises(ValueError, match=r"PE0_send\.csv:2: .*expected 5"):
+        parse_logical_dir(tmp_path, 2)
+
+
+def test_logical_non_integer_field(tmp_path):
+    _write_logical(tmp_path, ["0,zero,0,1,8"])
+    with pytest.raises(ValueError, match=r"PE0_send\.csv:2: malformed"):
+        parse_logical_dir(tmp_path, 2)
+
+
+def test_logical_out_of_range_pe(tmp_path):
+    _write_logical(tmp_path, ["0,0,0,7,8"])
+    with pytest.raises(ValueError,
+                       match=r"PE0_send\.csv:2: destination PE 7 out of range"):
+        parse_logical_dir(tmp_path, 2)
+
+
+def test_logical_rejects_bad_n_pes(tmp_path):
+    with pytest.raises(ValueError, match="n_pes must be >= 1"):
+        parse_logical_dir(tmp_path, 0)
+
+
+# ----------------------------------------------------------------------
+# physical (physical.txt)
+# ----------------------------------------------------------------------
+
+
+def _write_physical(tmp_path, lines):
+    path = tmp_path / "physical.txt"
+    path.write_text("# kind, bytes, src, dst\n" + "\n".join(lines) + "\n")
+    return path
+
+
+def test_physical_truncated_row(tmp_path):
+    path = _write_physical(tmp_path, ["BUFFER,512,0"])
+    with pytest.raises(ValueError, match=r"physical\.txt:2: .*expected 4"):
+        parse_physical_file(path)
+
+
+def test_physical_unknown_send_type(tmp_path):
+    path = _write_physical(tmp_path, ["CARRIER_PIGEON,512,0,1"])
+    with pytest.raises(ValueError,
+                       match=r"physical\.txt:2: unknown physical send type"):
+        parse_physical_file(path)
+
+
+def test_physical_non_integer_size(tmp_path):
+    path = _write_physical(tmp_path, ["local_send,big,0,1"])
+    with pytest.raises(ValueError, match=r"physical\.txt:2: .*integers"):
+        parse_physical_file(path)
+
+
+def test_physical_out_of_range_pe(tmp_path):
+    path = _write_physical(tmp_path, ["local_send,512,0,9"])
+    with pytest.raises(ValueError,
+                       match=r"physical\.txt:2: destination PE 9 out of range"):
+        parse_physical_file(path, n_pes=4)
+
+
+# ----------------------------------------------------------------------
+# PAPI (PEi_PAPI.csv)
+# ----------------------------------------------------------------------
+
+EVENTS = ("PAPI_TOT_INS", "PAPI_L1_DCM")
+
+
+def _write_papi(tmp_path, n_pes=2):
+    """A valid two-PE PAPI trace to corrupt per-test."""
+    trace = PAPITrace(MachineSpec(1, n_pes), EVENTS)
+    trace.record(0, 1, 64, 0, 3, (100, 5))
+    trace.record(1, 0, 64, 0, 2, (80, 4))
+    trace.write(tmp_path)
+    return tmp_path
+
+
+def test_papi_round_trips_when_clean(tmp_path):
+    _write_papi(tmp_path)
+    trace = parse_papi_dir(tmp_path, 2)
+    assert trace.events == EVENTS
+
+
+def test_papi_missing_file(tmp_path):
+    _write_papi(tmp_path)
+    (tmp_path / "PE1_PAPI.csv").unlink()
+    with pytest.raises(FileNotFoundError, match="PE1_PAPI.csv"):
+        parse_papi_dir(tmp_path, 2)
+
+
+def test_papi_rejects_bad_n_pes(tmp_path):
+    with pytest.raises(ValueError, match="n_pes must be >= 1"):
+        parse_papi_dir(tmp_path, 0)
+
+
+def test_papi_non_integer_field(tmp_path):
+    _write_papi(tmp_path)
+    with (tmp_path / "PE0_PAPI.csv").open("a") as f:
+        f.write("0,0,0,1,64,0,oops,1,2\n")
+    with pytest.raises(ValueError,
+                       match=r"PE0_PAPI\.csv:3: malformed PAPI trace line"):
+        parse_papi_dir(tmp_path, 2)
+
+
+def test_papi_mixed_schema_row(tmp_path):
+    _write_papi(tmp_path)
+    with (tmp_path / "PE0_PAPI.csv").open("a") as f:
+        f.write("0,0,0,1,64,0,1,100,5,999\n")  # one event value too many
+    with pytest.raises(ValueError,
+                       match=r"PE0_PAPI\.csv:3: PAPI row has 10 fields.*"
+                             r"mixed-schema"):
+        parse_papi_dir(tmp_path, 2)
+
+
+def test_papi_out_of_range_pe(tmp_path):
+    _write_papi(tmp_path)
+    with (tmp_path / "PE1_PAPI.csv").open("a") as f:
+        f.write("0,5,0,1,64,0,1,100,5\n")
+    with pytest.raises(ValueError,
+                       match=r"PE1_PAPI\.csv:3: source PE 5 out of range"):
+        parse_papi_dir(tmp_path, 2)
+
+
+def test_papi_inconsistent_headers_name_both_files(tmp_path):
+    _write_papi(tmp_path)
+    pe1 = tmp_path / "PE1_PAPI.csv"
+    pe1.write_text(pe1.read_text().replace("PAPI_L1_DCM", "PAPI_L2_DCM"))
+    with pytest.raises(ValueError, match=r"PE1_PAPI\.csv:1: .*disagrees "
+                                         r"with .*PE0_PAPI\.csv:1"):
+        parse_papi_dir(tmp_path, 2)
+
+
+def test_papi_data_before_header(tmp_path):
+    _write_papi(tmp_path)
+    pe0 = tmp_path / "PE0_PAPI.csv"
+    lines = pe0.read_text().splitlines()
+    pe0.write_text("\n".join(lines[1:] + [lines[0]]) + "\n")
+    with pytest.raises(ValueError,
+                       match=r"PE0_PAPI\.csv:1: PAPI data row before"):
+        parse_papi_dir(tmp_path, 2)

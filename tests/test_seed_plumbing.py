@@ -1,0 +1,107 @@
+"""Tests for explicit root-seed plumbing (satellite of the ActorCheck PR).
+
+Every entry point threads one explicit root seed into
+:mod:`repro.sim.rng`; named substreams derive from it collision-free,
+and — because archives carry no timestamps — two runs from the same root
+seed register with identical fingerprints in the run registry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import substream_rng, substream_seed
+
+
+def test_substream_seed_is_deterministic():
+    a = substream_seed(7, "actorcheck", 3, "tiebreak")
+    b = substream_seed(7, "actorcheck", 3, "tiebreak")
+    assert a.spawn_key == b.spawn_key
+    assert np.random.default_rng(a).integers(1 << 30) == \
+        np.random.default_rng(b).integers(1 << 30)
+
+
+def test_substream_paths_do_not_collide():
+    draws = {
+        name: substream_rng(7, *path).integers(1 << 62)
+        for name, path in {
+            "tiebreak": ("actorcheck", 3, "tiebreak"),
+            "flush": ("actorcheck", 3, "flush"),
+            "other-index": ("actorcheck", 4, "tiebreak"),
+            "genprog": ("actorcheck", "genprog", 3),
+        }.items()
+    }
+    assert len(set(draws.values())) == len(draws)
+
+
+def test_substream_root_seed_matters():
+    assert substream_rng(1, "x").integers(1 << 62) != \
+        substream_rng(2, "x").integers(1 << 62)
+
+
+def test_substream_rejects_bools():
+    # bool is an int subclass; silently mapping True -> 1 would alias two
+    # semantically different paths
+    with pytest.raises(TypeError):
+        substream_seed(0, True)
+
+
+def test_substream_accepts_large_ints_and_strings():
+    rng = substream_rng(2**80, "names", 2**40)
+    assert 0 <= rng.integers(10) < 10
+
+
+def test_same_root_seed_gives_identical_registry_fingerprints(tmp_path):
+    """The regression test: run → archive → register, twice, same seed —
+    the registry fingerprints (sha256 of the archives) must be equal."""
+    from repro.apps.histogram import histogram
+    from repro.core.flags import ProfileFlags
+    from repro.core.profiler import ActorProf
+    from repro.core.store.registry import RunRegistry
+    from repro.machine.spec import MachineSpec
+
+    registry = RunRegistry(tmp_path / "registry")
+    infos = []
+    for run in ("a", "b"):
+        profiler = ActorProf(ProfileFlags.all())
+        histogram(100, 16, machine=MachineSpec(1, 4), profiler=profiler,
+                  seed=123)
+        archive = profiler.export_archive(tmp_path / f"{run}.aptrc")
+        infos.append(registry.add(archive, run_id=run))
+    assert infos[0].fingerprint
+    assert infos[0].fingerprint == infos[1].fingerprint
+    # and the fingerprint is part of the human-readable listing
+    assert infos[0].fingerprint[:12] in infos[0].describe()
+
+
+def test_different_root_seed_changes_the_fingerprint(tmp_path):
+    from repro.apps.histogram import histogram
+    from repro.core.flags import ProfileFlags
+    from repro.core.profiler import ActorProf
+    from repro.core.store.registry import RunRegistry
+    from repro.machine.spec import MachineSpec
+
+    registry = RunRegistry(tmp_path / "registry")
+    prints = []
+    for seed in (1, 2):
+        profiler = ActorProf(ProfileFlags.all())
+        histogram(100, 16, machine=MachineSpec(1, 4), profiler=profiler,
+                  seed=seed)
+        archive = profiler.export_archive(tmp_path / f"s{seed}.aptrc")
+        prints.append(registry.add(archive, run_id=f"s{seed}").fingerprint)
+    assert prints[0] != prints[1]
+
+
+def test_benchmark_root_seed_is_explicit():
+    """The benchmark suite pins one module-level root seed and threads it
+    into every graph construction site."""
+    import re
+    from pathlib import Path
+
+    bench = Path(__file__).resolve().parent.parent / "benchmarks"
+    conftest = (bench / "conftest.py").read_text()
+    assert re.search(r"^ROOT_SEED = 0$", conftest, re.MULTILINE)
+    for path in bench.glob("test_*.py"):
+        for line in path.read_text().splitlines():
+            if "case_study_graph(" in line:
+                assert "seed=" in line, \
+                    f"{path.name}: {line.strip()} has no explicit seed"
