@@ -17,10 +17,14 @@ divergence as benign reordering or a confirmed nondeterminism bug.
 * :mod:`~repro.check.workloads` — auditable workloads: the two case
   studies plus a generative random actor-program builder,
 * :mod:`~repro.check.auditor` — the differential audit loop and the
-  machine-readable :class:`~repro.check.auditor.CheckReport`.
+  machine-readable :class:`~repro.check.auditor.CheckReport`,
+* :mod:`~repro.check.parallel` — the per-schedule run recorder, shared
+  by the serial path and the :mod:`repro.exec` process-pool workers so
+  ``--jobs N`` verdicts are byte-identical to ``--jobs 1``.
 
-CLI: ``actorprof check <workload> --schedules K`` (exit 0 = deterministic,
-4 = confirmed nondeterminism, 5 = invariant violation).
+CLI: ``actorprof check <workload> --schedules K [--jobs N]`` (exit 0 =
+deterministic, 4 = confirmed nondeterminism, 5 = invariant violation,
+6 = a run failed or its worker died).
 """
 
 from repro.check.auditor import CheckReport, Divergence, audit
@@ -38,6 +42,7 @@ from repro.check.workloads import (
     TriangleWorkload,
     Workload,
     generate_spec,
+    workload_from_descriptor,
 )
 
 __all__ = [
@@ -56,4 +61,5 @@ __all__ = [
     "generate_spec",
     "make_schedules",
     "run_invariants",
+    "workload_from_descriptor",
 ]

@@ -13,6 +13,14 @@ invariant engine on every run, and classifies cross-schedule differences:
   (physical buffer traffic, region timings, PAPI sample values).  These
   are expected: the physical trace *documents* the schedule.
 
+Every schedule's run is independent and replayable from ``(root_seed,
+index)``, so the audit fans out over the :mod:`repro.exec` process pool
+(``jobs > 1``) and merges results back in schedule order — the verdict
+JSON is byte-identical at any job count.  A run whose worker raises or
+*dies* becomes a per-run failure record (verdict ``run-failure``), never
+a lost audit; a :class:`~repro.exec.ResultCache` skips runs whose
+``(workload, seed, schedule)`` key was already audited.
+
 The resulting :class:`CheckReport` is machine-readable (``to_dict`` /
 ``to_json``) and renders as text for the CLI.
 """
@@ -24,9 +32,11 @@ import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.check.invariants import Violation, run_invariants
+from repro.check.invariants import Violation
+from repro.check.parallel import record_run
 from repro.check.policies import PerturbedSchedule, make_schedules
-from repro.check.workloads import RunArtifacts, Workload
+from repro.check.workloads import Workload
+from repro.exec import ResultCache, RunRecord, RunSpec, cache_key_for, execute
 
 
 @dataclass(frozen=True)
@@ -82,6 +92,9 @@ class CheckReport:
     outcomes: list[ScheduleOutcome] = field(default_factory=list)
     confirmed: list[Divergence] = field(default_factory=list)
     replays: list[dict] = field(default_factory=list)
+    #: Runs that raised or whose worker process died:
+    #: ``{"schedule": k, "tag": "s3", "error": "..."}`` each.
+    failures: list[dict] = field(default_factory=list)
 
     @property
     def violations(self) -> list[tuple[int, Violation]]:
@@ -96,15 +109,16 @@ class CheckReport:
     def verdict(self) -> str:
         if self.confirmed:
             return "nondeterminism"
+        if self.failures:
+            return "run-failure"
         if self.violations:
             return "invariant-violation"
         return "pass"
 
     @property
     def exit_code(self) -> int:
-        return {"pass": 0, "nondeterminism": 4, "invariant-violation": 5}[
-            self.verdict
-        ]
+        return {"pass": 0, "nondeterminism": 4, "invariant-violation": 5,
+                "run-failure": 6}[self.verdict]
 
     def to_dict(self) -> dict:
         return {
@@ -114,6 +128,7 @@ class CheckReport:
             "verdict": self.verdict,
             "exit_code": self.exit_code,
             "replays": list(self.replays),
+            "failures": list(self.failures),
             "confirmed": [d.to_dict() for d in self.confirmed],
             "violations": [
                 {"schedule": idx, "invariant": v.invariant, "detail": v.detail}
@@ -133,6 +148,8 @@ class CheckReport:
         for rep in self.replays:
             state = "byte-identical" if rep["identical"] else "DIVERGED"
             lines.append(f"replay of schedule {rep['schedule']}: {state}")
+        for fail in self.failures:
+            lines.append(f"FAILED {fail['tag']}: {fail['error']}")
         for o in self.outcomes:
             mark = "OK " if not o.violations else "BAD"
             lines.append(f"{mark} {o.description}: "
@@ -153,45 +170,91 @@ class CheckReport:
         return "\n".join(lines)
 
 
-def _compare_to_baseline(base: RunArtifacts, other: RunArtifacts,
-                         report: CheckReport,
+def _compare_to_baseline(base: dict, other: dict, report: CheckReport,
                          outcome: ScheduleOutcome) -> None:
-    """Classify differences of ``other`` against the default schedule."""
-    k = other.schedule.index
-    if other.result_fingerprint != base.result_fingerprint:
+    """Classify one run record's differences against the default schedule."""
+    k, base_k = other["schedule"], base["schedule"]
+    if other["result_fingerprint"] != base["result_fingerprint"]:
         report.confirmed.append(Divergence(
-            "result", (str(base.schedule.index), str(k)),
-            f"application results differ ({base.result_fingerprint[:12]} vs "
-            f"{other.result_fingerprint[:12]}) — the program depends on a "
+            "result", (str(base_k), str(k)),
+            f"application results differ ({base['result_fingerprint'][:12]} "
+            f"vs {other['result_fingerprint'][:12]}) — the program depends "
+            f"on a schedule don't-care",
+        ))
+    if other["logical_fingerprint"] != base["logical_fingerprint"]:
+        report.confirmed.append(Divergence(
+            "logical-trace", (str(base_k), str(k)),
+            f"logical send matrices differ "
+            f"({base['logical_fingerprint'][:12]} vs "
+            f"{other['logical_fingerprint'][:12]}) — sends depend on a "
             f"schedule don't-care",
         ))
-    if other.logical_fingerprint != base.logical_fingerprint:
-        report.confirmed.append(Divergence(
-            "logical-trace", (str(base.schedule.index), str(k)),
-            f"logical send matrices differ ({base.logical_fingerprint[:12]} "
-            f"vs {other.logical_fingerprint[:12]}) — sends depend on a "
-            f"schedule don't-care",
-        ))
-    if (other.result_fingerprint == base.result_fingerprint
-            and other.logical_fingerprint == base.logical_fingerprint
-            and other.archive_sha256 != base.archive_sha256):
+    if (other["result_fingerprint"] == base["result_fingerprint"]
+            and other["logical_fingerprint"] == base["logical_fingerprint"]
+            and other["archive_sha256"] != base["archive_sha256"]):
         outcome.benign.append(
             f"schedule {k}: archive bytes differ from schedule "
-            f"{base.schedule.index} while results and logical sends match "
+            f"{base_k} while results and logical sends match "
             f"(physical buffering / timings reordered)"
         )
 
 
-def _run_one(workload: Workload, schedule: PerturbedSchedule, out_dir: Path,
-             tag: str, fault_plan=None) -> RunArtifacts:
-    import contextlib
+#: Dotted path of the pooled worker (see :mod:`repro.check.parallel`).
+_WORKER_FN = "repro.check.parallel:run_audit_schedule"
 
-    from repro.sim.faults import use_plan
 
-    scope = use_plan(fault_plan) if fault_plan is not None \
-        else contextlib.nullcontext()
-    with scope:
-        return workload.run(schedule, out_dir / f"{tag}.aptrc")
+def _execute_units(
+    workload: Workload,
+    plans: list[PerturbedSchedule],
+    units: list[tuple[int, str]],
+    out_dir: Path,
+    store_equivalence: bool,
+    fault_plan,
+    jobs: int,
+    cache: ResultCache | None,
+) -> dict[str, RunRecord]:
+    """Run every ``(schedule index, tag)`` unit; return records by tag.
+
+    ``jobs == 1`` without a cache runs inline on the live workload
+    object (no descriptor needed — custom Workload subclasses keep
+    working).  Otherwise the units become :class:`RunSpec` s for the
+    process pool; both paths produce values via
+    :func:`~repro.check.parallel.record_run`, so their records are
+    identical.
+    """
+    if jobs == 1 and cache is None:
+        records = {}
+        for i, (k, tag) in enumerate(units):
+            try:
+                value = record_run(workload, plans[k], out_dir, tag,
+                                   store_equivalence=store_equivalence,
+                                   fault_plan=fault_plan)
+                records[tag] = RunRecord(index=i, tag=tag, ok=True,
+                                         value=value)
+            except Exception as exc:
+                records[tag] = RunRecord(index=i, tag=tag, ok=False,
+                                         error=f"{type(exc).__name__}: {exc}")
+        return records
+
+    descriptor = workload.descriptor()
+    plan_dict = fault_plan.to_dict() if fault_plan is not None else None
+    specs = []
+    for i, (k, tag) in enumerate(units):
+        kwargs = {
+            "workload": descriptor,
+            "schedule_index": k,
+            "schedules": len(plans),
+            "tag": tag,
+            "store_equivalence": store_equivalence,
+            "fault_plan": plan_dict,
+        }
+        specs.append(RunSpec(
+            index=i, fn=_WORKER_FN, kwargs=kwargs, tag=tag,
+            cache_key=(cache_key_for(_WORKER_FN, kwargs)
+                       if cache is not None else None),
+        ))
+    recs = execute(specs, jobs=jobs, scratch_dir=out_dir, cache=cache)
+    return {rec.tag: rec for rec in recs}
 
 
 def audit(
@@ -200,6 +263,8 @@ def audit(
     out_dir: str | Path | None = None,
     store_equivalence: bool = True,
     fault_plan=None,
+    jobs: int = 1,
+    cache: ResultCache | str | Path | None = None,
 ) -> CheckReport:
     """Audit ``workload`` under ``schedules`` perturbed-but-legal schedules.
 
@@ -224,14 +289,27 @@ def audit(
         every run: a fault plan plus an ActorCheck audit must still be
         deterministic per seed.  Plans containing crashes are rejected —
         a crashed run has nothing meaningful to diff.
+    jobs:
+        Worker processes for the :mod:`repro.exec` engine.  Results are
+        merged in schedule order, so any job count yields a
+        byte-identical report; ``jobs > 1`` (and any ``cache``) requires
+        the workload to implement ``descriptor()``.
+    cache:
+        Optional :class:`~repro.exec.ResultCache` (or directory path):
+        runs whose ``(workload, seed, schedule)`` key is already stored
+        are skipped and served from cache.
     """
     if schedules < 1:
         raise ValueError(f"need at least one schedule: {schedules}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1: {jobs}")
     if fault_plan is not None and getattr(fault_plan, "crashes", ()):
         raise ValueError(
             "ActorCheck audits need complete runs; fault plans with PE "
             "crashes cannot be audited (drop/delay/duplicate/slow are fine)"
         )
+    if cache is not None and not isinstance(cache, ResultCache):
+        cache = ResultCache(Path(cache))
     plans = make_schedules(workload.seed, schedules)
     report = CheckReport(workload=workload.name, seed=workload.seed,
                          schedules=schedules)
@@ -244,54 +322,62 @@ def audit(
         out_dir = Path(out_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
 
+    # Replay the baseline — and one jittered schedule, if any — to
+    # prove every (seed, schedule) pair is bit-stable on its own.
+    replay_indices = [0] + ([1] if schedules > 1 else [])
+    units = [(k, f"s{k}") for k in range(schedules)]
+    units += [(k, f"s{k}-replay") for k in replay_indices]
+
     try:
-        baseline = _run_one(workload, plans[0], out_dir, "s0",
-                            fault_plan=fault_plan)
-        arts: dict[int, RunArtifacts] = {0: baseline}
-        for k, plan in enumerate(plans):
-            if k == 0:
-                continue
-            arts[k] = _run_one(workload, plan, out_dir, f"s{k}",
-                               fault_plan=fault_plan)
-        # Replay the baseline — and one jittered schedule, if any — to
-        # prove every (seed, schedule) pair is bit-stable on its own.
-        replay_indices = [0] + ([1] if schedules > 1 else [])
-        for k in replay_indices:
-            replay = _run_one(workload, plans[k], out_dir, f"s{k}-replay",
-                              fault_plan=fault_plan)
-            identical = (
-                replay.archive_sha256 == arts[k].archive_sha256
-                and replay.result_fingerprint == arts[k].result_fingerprint
-            )
-            report.replays.append({"schedule": k, "identical": identical})
-            if not identical:
-                report.confirmed.append(Divergence(
-                    "replay", (str(k), f"{k}-replay"),
-                    "re-running the identical (seed, schedule) pair did not "
-                    "reproduce byte-identical traces — the run depends on "
-                    "state outside the seeded schedule",
-                ))
-        for k, plan in enumerate(plans):
-            art = arts[k]
-            outcome = ScheduleOutcome(
-                schedule=plan,
-                description=plan.describe(),
-                result_fingerprint=art.result_fingerprint,
-                logical_fingerprint=art.logical_fingerprint,
-                archive_sha256=art.archive_sha256,
-                violations=run_invariants(
-                    art, store_equivalence=store_equivalence
-                ),
-            )
-            if k != 0:
-                _compare_to_baseline(baseline, art, report, outcome)
-            report.outcomes.append(outcome)
-        for idx, v in report.violations:
-            report.confirmed.append(Divergence(
-                "invariant", (str(idx), str(idx)),
-                f"invariant broke under schedule {idx}: {v}",
-            ))
+        records = _execute_units(workload, plans, units, out_dir,
+                                 store_equivalence, fault_plan, jobs, cache)
     finally:
         if tmp is not None:
             tmp.cleanup()
+
+    for i, (k, tag) in enumerate(units):
+        rec = records[tag]
+        if not rec.ok:
+            report.failures.append({"schedule": k, "tag": tag,
+                                    "error": rec.error})
+    for k in replay_indices:
+        first, replay = records[f"s{k}"], records[f"s{k}-replay"]
+        if not (first.ok and replay.ok):
+            continue
+        identical = (
+            replay.value["archive_sha256"] == first.value["archive_sha256"]
+            and replay.value["result_fingerprint"]
+            == first.value["result_fingerprint"]
+        )
+        report.replays.append({"schedule": k, "identical": identical})
+        if not identical:
+            report.confirmed.append(Divergence(
+                "replay", (str(k), f"{k}-replay"),
+                "re-running the identical (seed, schedule) pair did not "
+                "reproduce byte-identical traces — the run depends on "
+                "state outside the seeded schedule",
+            ))
+    base = records["s0"].value if records["s0"].ok else None
+    for k, plan in enumerate(plans):
+        rec = records[f"s{k}"]
+        if not rec.ok:
+            continue
+        value = rec.value
+        outcome = ScheduleOutcome(
+            schedule=plan,
+            description=value["description"],
+            result_fingerprint=value["result_fingerprint"],
+            logical_fingerprint=value["logical_fingerprint"],
+            archive_sha256=value["archive_sha256"],
+            violations=[Violation(v["invariant"], v["detail"])
+                        for v in value["violations"]],
+        )
+        if k != 0 and base is not None:
+            _compare_to_baseline(base, value, report, outcome)
+        report.outcomes.append(outcome)
+    for idx, v in report.violations:
+        report.confirmed.append(Divergence(
+            "invariant", (str(idx), str(idx)),
+            f"invariant broke under schedule {idx}: {v}",
+        ))
     return report

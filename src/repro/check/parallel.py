@@ -1,0 +1,87 @@
+"""The ActorCheck run recorder: one schedule's run as plain data.
+
+:func:`record_run` executes one ``(workload, schedule)`` pair, runs the
+invariant engine, and flattens everything the auditor needs into a
+JSON-serializable dict.  :func:`run_audit_schedule` is the same thing
+behind the :mod:`repro.exec` worker contract — it additionally rebuilds
+the workload from its descriptor, so it can execute in a spawned
+process.
+
+Both the serial (``jobs=1``) and the pooled audit paths go through
+:func:`record_run`, which is what makes ``actorprof check --jobs N``
+byte-identical to ``--jobs 1``: the per-run values are computed by one
+function, and the auditor merges them in schedule order either way.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from pathlib import Path
+
+from repro.check.invariants import run_invariants
+from repro.check.policies import PerturbedSchedule, make_schedules
+from repro.check.workloads import Workload, workload_from_descriptor
+
+
+def record_run(
+    workload: Workload,
+    schedule: PerturbedSchedule,
+    out_dir: Path,
+    tag: str,
+    *,
+    store_equivalence: bool = True,
+    fault_plan=None,
+) -> dict:
+    """Run once under ``schedule``; return the flattened run record.
+
+    ``fault_plan`` is a live :class:`~repro.sim.faults.FaultPlan` (or
+    None).  The archive lands at ``out_dir/<tag>.aptrc`` and is listed
+    under ``"artifacts"`` so the result cache can carry it.
+    """
+    from repro.sim.faults import use_plan
+
+    scope = (use_plan(fault_plan) if fault_plan is not None
+             else contextlib.nullcontext())
+    with scope:
+        art = workload.run(schedule, Path(out_dir) / f"{tag}.aptrc")
+    violations = run_invariants(art, store_equivalence=store_equivalence)
+    return {
+        "schedule": schedule.index,
+        "tag": tag,
+        "description": schedule.describe(),
+        "result_fingerprint": art.result_fingerprint,
+        "logical_fingerprint": art.logical_fingerprint,
+        "archive_sha256": art.archive_sha256,
+        "violations": [{"invariant": v.invariant, "detail": v.detail}
+                       for v in violations],
+        "artifacts": [f"{tag}.aptrc"],
+    }
+
+
+def run_audit_schedule(
+    out_dir: Path,
+    *,
+    workload: dict,
+    schedule_index: int,
+    schedules: int,
+    tag: str,
+    store_equivalence: bool = True,
+    fault_plan: dict | None = None,
+) -> dict:
+    """:mod:`repro.exec` worker: one audited run from pure data.
+
+    ``workload`` is a :meth:`~repro.check.workloads.Workload.descriptor`
+    dict; the schedule is rebuilt as ``make_schedules(seed, K)[index]``
+    — exactly how the serial auditor derives it, so a worker's run is
+    indistinguishable from an in-process one.
+    """
+    from repro.sim.faults import FaultPlan
+
+    wl = workload_from_descriptor(workload)
+    if not 0 <= schedule_index < schedules:
+        raise ValueError(f"schedule index {schedule_index} outside "
+                         f"[0, {schedules})")
+    schedule = make_schedules(wl.seed, schedules)[schedule_index]
+    plan = FaultPlan.from_dict(fault_plan) if fault_plan else None
+    return record_run(wl, schedule, Path(out_dir), tag,
+                      store_equivalence=store_equivalence, fault_plan=plan)

@@ -111,6 +111,29 @@ class Workload:
         self.seed = seed
         self.base_config = conveyor_config or ConveyorConfig()
 
+    def descriptor(self) -> dict:
+        """A JSON-serializable description a worker process can rebuild
+        this workload from (see :func:`workload_from_descriptor`).
+
+        Parallel audits (``jobs > 1``) and the result cache both need
+        one; a workload without it can still be audited serially.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not describe itself for parallel "
+            f"execution; implement descriptor() or audit with jobs=1 and "
+            f"no cache"
+        )
+
+    def _base_descriptor(self) -> dict:
+        from dataclasses import asdict
+
+        return {
+            "nodes": self.machine.nodes,
+            "pes_per_node": self.machine.pes_per_node,
+            "seed": self.seed,
+            "conveyor": asdict(self.base_config),
+        }
+
     def _config_for(self, schedule: PerturbedSchedule) -> ConveyorConfig:
         if schedule.buffer_items is None:
             return self.base_config
@@ -165,6 +188,10 @@ class HistogramWorkload(Workload):
         self.updates = updates
         self.table_size = table_size
 
+    def descriptor(self) -> dict:
+        return {"kind": "histogram", "updates": self.updates,
+                "table_size": self.table_size, **self._base_descriptor()}
+
     def execute(self, schedule, profiler, config):
         from repro.apps.histogram import histogram
 
@@ -192,6 +219,11 @@ class TriangleWorkload(Workload):
                          conveyor_config=conveyor_config)
         self.scale = scale
         self.distribution = distribution
+
+    def descriptor(self) -> dict:
+        return {"kind": "triangle", "scale": self.scale,
+                "distribution": self.distribution,
+                **self._base_descriptor()}
 
     def execute(self, schedule, profiler, config):
         from repro.apps.triangle import count_triangles
@@ -294,6 +326,14 @@ class GeneratedWorkload(Workload):
         self.spec = spec
         self.name = name or "generated"
 
+    def descriptor(self) -> dict:
+        from dataclasses import asdict
+
+        spec = asdict(self.spec)
+        spec["payload_words"] = list(spec["payload_words"])
+        return {"kind": "generated", "spec": spec, "name": self.name,
+                **self._base_descriptor()}
+
     def execute(self, schedule, profiler, config):
         spec = self.spec
         n_pes = self.machine.n_pes
@@ -358,3 +398,36 @@ class GeneratedWorkload(Workload):
             data["order_state"] = order_state.tolist()
         received = receipts.sum(axis=0)
         return data, run, receipts, [int(x) for x in received]
+
+
+def workload_from_descriptor(data: dict) -> Workload:
+    """Rebuild a workload in a worker process from its :meth:`descriptor`.
+
+    The round trip must be lossless: a rebuilt workload has to produce
+    byte-identical artifacts to the original, or parallel audits would
+    diverge from serial ones.
+    """
+    if not isinstance(data, dict) or "kind" not in data:
+        raise ValueError(f"not a workload descriptor: {data!r}")
+    kind = data["kind"]
+    machine = MachineSpec(int(data["nodes"]), int(data["pes_per_node"]))
+    seed = int(data["seed"])
+    config = ConveyorConfig(**data["conveyor"])
+    if kind == "histogram":
+        return HistogramWorkload(
+            updates=int(data["updates"]), table_size=int(data["table_size"]),
+            machine=machine, seed=seed, conveyor_config=config,
+        )
+    if kind == "triangle":
+        return TriangleWorkload(
+            scale=int(data["scale"]), distribution=data["distribution"],
+            machine=machine, seed=seed, conveyor_config=config,
+        )
+    if kind == "generated":
+        fields = dict(data["spec"])
+        fields["payload_words"] = tuple(fields["payload_words"])
+        return GeneratedWorkload(
+            ProgramSpec(**fields), machine=machine, seed=seed,
+            name=data.get("name"), conveyor_config=config,
+        )
+    raise ValueError(f"unknown workload kind {kind!r}")

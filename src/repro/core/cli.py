@@ -536,6 +536,18 @@ def _faults_main(argv: list[str]) -> int:
 # `actorprof run` — execute a built-in app under the profiler
 # ----------------------------------------------------------------------
 
+#: Parameters `actorprof run --sweep` may vary, with their value parsers.
+_SWEEPABLE = {
+    "seed": int,
+    "updates": int,
+    "table_size": int,
+    "scale": int,
+    "nodes": int,
+    "pes_per_node": int,
+    "distribution": str,
+}
+
+
 def _run_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="actorprof run",
@@ -567,8 +579,137 @@ def _run_parser() -> argparse.ArgumentParser:
     parser.add_argument("-o", "--export-archive", type=Path, default=None,
                         metavar="PATH",
                         help="archive the run's traces to PATH (.aptrc); "
-                             "required to salvage a failing run")
+                             "required to salvage a failing run; with "
+                             "--sweep, PATH is a directory that receives "
+                             "one APP-TAG.aptrc per sweep point")
+    parser.add_argument("--sweep", action="append", default=[],
+                        metavar="PARAM=V1,V2,...",
+                        help="sweep a parameter over several values "
+                             "(repeatable; points are the cartesian "
+                             "product).  Sweepable: " + ", ".join(_SWEEPABLE))
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run sweep points across N worker processes "
+                             "(default 1)")
+    parser.add_argument("--sweep-report", type=Path, default=None,
+                        metavar="PATH",
+                        help="write the machine-readable sweep outcome "
+                             "JSON to PATH")
     return parser
+
+
+def _parse_sweeps(items: list[str]) -> dict[str, list]:
+    """Parse repeated ``--sweep PARAM=V1,V2,...`` into an ordered dict."""
+    sweeps: dict[str, list] = {}
+    for item in items:
+        name, sep, values_text = item.partition("=")
+        name = name.strip().lower()
+        if not sep or not values_text:
+            raise ValueError(f"bad --sweep {item!r}: use PARAM=V1,V2,...")
+        if name not in _SWEEPABLE:
+            raise ValueError(f"cannot sweep {name!r}; sweepable parameters "
+                             f"are {', '.join(_SWEEPABLE)}")
+        if name in sweeps:
+            raise ValueError(f"--sweep {name} given twice")
+        parse = _SWEEPABLE[name]
+        try:
+            values = [parse(v.strip()) for v in values_text.split(",")]
+        except ValueError:
+            raise ValueError(f"bad --sweep {item!r}: {name} wants "
+                             f"{parse.__name__} values") from None
+        if name == "distribution":
+            for v in values:
+                if v not in ("cyclic", "range", "block"):
+                    raise ValueError(f"bad --sweep distribution value {v!r}: "
+                                     "want cyclic, range, or block")
+        sweeps[name] = values
+    return sweeps
+
+
+def _run_sweep(args, plan) -> int:
+    """Execute the cartesian sweep through the :mod:`repro.exec` engine."""
+    import itertools
+    import json
+
+    from repro.exec import RunSpec, execute
+
+    try:
+        sweeps = _parse_sweeps(args.sweep)
+    except ValueError as exc:
+        print(f"bad sweep: {exc}", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1: {args.jobs}", file=sys.stderr)
+        return 2
+
+    base = {
+        "app": args.app,
+        "nodes": args.nodes,
+        "pes_per_node": args.pes_per_node,
+        "updates": args.updates,
+        "table_size": args.table_size,
+        "scale": args.scale,
+        "distribution": args.distribution,
+        "seed": args.seed,
+        "fault_plan": plan.to_dict() if plan is not None else None,
+    }
+    out_dir = args.export_archive  # a *directory* in sweep mode
+    specs = []
+    names = list(sweeps)
+    for index, combo in enumerate(itertools.product(*sweeps.values())):
+        point = dict(zip(names, combo))
+        tag = "-".join(f"{n}{v}" for n, v in point.items())
+        kwargs = dict(base, **point)
+        if out_dir is not None:
+            kwargs["archive_name"] = f"{args.app}-{tag}.aptrc"
+        specs.append(RunSpec(
+            index=index, fn="repro.exec.apptask:run_app_point",
+            kwargs=kwargs, tag=tag,
+        ).with_cache_key())
+    print(f"sweep: {len(specs)} points "
+          f"({' x '.join(f'{n}={len(v)}' for n, v in sweeps.items())}), "
+          f"jobs={args.jobs}")
+
+    records = execute(specs, jobs=args.jobs, scratch_dir=out_dir)
+    points = []
+    for rec in records:
+        if rec.ok:
+            point = dict(rec.value)
+        else:  # a worker died or raised: a per-point failure record
+            point = {"app": args.app, "summary": "", "exit_code": 1,
+                     "error": rec.error, "archive": None,
+                     "archive_sha256": None, "artifacts": []}
+        point["tag"] = rec.tag
+        points.append(point)
+        status = (point["summary"] or point["error"]
+                  or f"exit {point['exit_code']}")
+        marker = "ok" if point["exit_code"] == 0 else f"rc={point['exit_code']}"
+        print(f"  [{marker}] {rec.tag}: {status}")
+        if point["archive"] is not None and out_dir is not None:
+            print(f"         archived → {out_dir / point['archive']}")
+
+    # Same aggregation contract as `actorprof check`: the process exits
+    # with the max per-point code, the report lists every distinct
+    # nonzero code so no failure kind is masked.
+    exit_code = max((p["exit_code"] for p in points), default=0)
+    exit_codes = sorted({p["exit_code"] for p in points if p["exit_code"]})
+    if exit_codes:
+        print("sweep failures: exit codes "
+              + ", ".join(str(c) for c in exit_codes)
+              + f" (process exits with {exit_code})", file=sys.stderr)
+    if args.sweep_report is not None:
+        # no job count in the payload: the report's bytes must not
+        # depend on how the sweep was parallelized
+        payload = {
+            "app": args.app,
+            "sweep": {n: list(v) for n, v in sweeps.items()},
+            "exit_code": exit_code,
+            "exit_codes": exit_codes,
+            "points": points,
+        }
+        args.sweep_report.parent.mkdir(parents=True, exist_ok=True)
+        args.sweep_report.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote sweep report → {args.sweep_report}")
+    return exit_code
 
 
 def _run_main(argv: list[str]) -> int:
@@ -586,6 +727,9 @@ def _run_main(argv: list[str]) -> int:
     except ValueError as exc:
         print(f"bad fault plan: {exc}", file=sys.stderr)
         return 2
+    if args.sweep:
+        # machine validation is per-point (nodes/pes_per_node may sweep)
+        return _run_sweep(args, plan)
     spec = MachineSpec(args.nodes, args.pes_per_node)
     if plan is not None:
         try:
@@ -663,7 +807,8 @@ def _check_parser() -> argparse.ArgumentParser:
                     "(tie-break permutation, flush-order jitter, buffer "
                     "sweeps), verify trace invariants, and diff the runs. "
                     "Exit 0 = deterministic, 4 = confirmed nondeterminism, "
-                    "5 = invariant violation.",
+                    "5 = invariant violation, 6 = a run failed or its "
+                    "worker died.",
     )
     parser.add_argument("workload", choices=("histogram", "triangle",
                                              "generated"),
@@ -704,6 +849,14 @@ def _check_parser() -> argparse.ArgumentParser:
     parser.add_argument("--skip-store-check", action="store_true",
                         help="skip the archive/CSV round-trip invariant "
                              "(faster for large sweeps)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan the K schedule runs across N worker "
+                             "processes (default 1: in-process); the "
+                             "verdict is byte-identical either way")
+    parser.add_argument("--cache", type=Path, default=None, metavar="DIR",
+                        help="result cache directory: schedule runs whose "
+                             "(workload, seed, schedule) fingerprint is "
+                             "already cached are restored instead of rerun")
     parser.add_argument("--quiet", action="store_true",
                         help="only print the verdict line(s)")
     return parser
@@ -724,6 +877,9 @@ def _check_main(argv: list[str]) -> int:
     args = _check_parser().parse_args(argv)
     if args.schedules < 1:
         print(f"--schedules must be >= 1: {args.schedules}", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1: {args.jobs}", file=sys.stderr)
         return 2
     fault_plan = None
     if args.fault_plan is not None:
@@ -764,6 +920,8 @@ def _check_main(argv: list[str]) -> int:
                 out_dir=out_dir,
                 store_equivalence=not args.skip_store_check,
                 fault_plan=fault_plan,
+                jobs=args.jobs,
+                cache=args.cache,
             )
             reports.append(report)
             if args.quiet:
@@ -773,13 +931,31 @@ def _check_main(argv: list[str]) -> int:
     except ValueError as exc:
         print(f"check failed: {exc}", file=sys.stderr)
         return 2
+    # The process can only exit with one code, so `max` wins there (the
+    # codes are ordered by severity: 4 < 5 < 6) — but aggregating with
+    # max alone used to *hide* the other failures: a K-program audit
+    # where one program diverged (4) and another broke an invariant (5)
+    # reported only the 5.  The JSON payload therefore carries every
+    # distinct nonzero code alongside the per-workload reports.
+    exit_code = max(r.exit_code for r in reports)
+    exit_codes = sorted({r.exit_code for r in reports if r.exit_code})
+    if len(exit_codes) > 1:
+        print("multiple failure kinds: exit codes "
+              + ", ".join(str(c) for c in exit_codes)
+              + f" (process exits with {exit_code})", file=sys.stderr)
     if args.report is not None:
-        payload = (reports[0].to_dict() if len(reports) == 1
-                   else [r.to_dict() for r in reports])
+        if len(reports) == 1:
+            payload = reports[0].to_dict()
+        else:
+            payload = {
+                "exit_code": exit_code,
+                "exit_codes": exit_codes,
+                "reports": [r.to_dict() for r in reports],
+            }
         args.report.parent.mkdir(parents=True, exist_ok=True)
         args.report.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote verdict report → {args.report}")
-    return max(r.exit_code for r in reports)
+    return exit_code
 
 
 # ----------------------------------------------------------------------

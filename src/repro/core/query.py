@@ -21,6 +21,12 @@ Grammar
     cond    := field op value
     field   := "src" | "dst" | "size" | "kind" | "src_node" | "dst_node"
     op      := "==" | "!=" | "<" | "<=" | ">" | ">="
+    value   := integer (possibly negative) | field | send-type name
+
+Tokenization is total: every character of the query must belong to a
+token (or be whitespace), and anything else — stray punctuation, a
+typo'd operator — raises :class:`QueryError` naming the character and
+its column instead of silently re-interpreting the rest of the query.
 
 ``sends`` counts messages/operations, ``bytes`` sums payload/buffer
 bytes, ``ops`` is an alias of ``sends`` reading naturally for physical
@@ -62,11 +68,40 @@ _OPS = {
     ">=": operator.ge,
 }
 
-_TOKEN_RE = re.compile(r"==|!=|<=|>=|<|>|[A-Za-z_][A-Za-z_0-9]*|\d+")
+_TOKEN_RE = re.compile(
+    r"\s+"                          # whitespace (skipped)
+    r"|==|!=|<=|>=|<|>"             # comparison operators
+    r"|[A-Za-z_][A-Za-z_0-9]*"      # keywords, fields, send-type names
+    r"|-?\d+"                       # integer literals, negative included
+)
+_INT_RE = re.compile(r"-?\d+")
 
 
 class QueryError(ValueError):
     """Raised for syntax or semantic errors in a trace query."""
+
+
+def _tokenize(text: str) -> list[str]:
+    """Split ``text`` into tokens, accounting for every character.
+
+    Unlike ``findall`` — which silently skips anything it cannot match,
+    so a stray ``@`` or ``$`` would quietly change the query's meaning —
+    this scans with position tracking and rejects the first character
+    that belongs to no token.
+    """
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise QueryError(
+                f"unexpected character {text[pos]!r} at column {pos + 1} "
+                f"of query {text!r}"
+            )
+        if not m.group().isspace():
+            tokens.append(m.group())
+        pos = m.end()
+    return tokens
 
 
 @dataclass(frozen=True)
@@ -109,7 +144,7 @@ class Query:
 
 def parse(text: str) -> Query:
     """Parse a query string (see module grammar)."""
-    tokens = _TOKEN_RE.findall(text)
+    tokens = _tokenize(text)
     if not tokens:
         raise QueryError("empty query")
     pos = 0
@@ -142,7 +177,7 @@ def parse(text: str) -> Query:
                 raise QueryError("missing value in condition")
             raw = take()
             value: int | str | FieldRef
-            if raw.isdigit():
+            if _INT_RE.fullmatch(raw):
                 value = int(raw)
             elif raw.lower() in _FIELDS:
                 value = FieldRef(raw.lower())  # field-to-field comparison

@@ -1,0 +1,138 @@
+"""On-disk result cache for the parallel run engine.
+
+Entries are keyed by :func:`repro.exec.runspec.cache_key_for` — the
+sha256 of a spec's ``{fn, kwargs}`` — so an unchanged ``(workload,
+seed, schedule)`` triple maps to the same entry across processes and
+sessions.  An entry holds the worker's returned value plus a copy of
+every artifact file it produced, each stamped with its own sha256 (the
+same fingerprint the run registry records for archives).  On a hit the
+artifacts are re-verified against those fingerprints before being
+restored; any corruption demotes the hit to a miss and evicts the
+entry, so a poisoned cache can never alter results — only cost a rerun.
+
+Layout::
+
+    <root>/<key[:2]>/<key>/manifest.json   # {"value": ..., "artifacts": [...]}
+    <root>/<key[:2]>/<key>/<artifact files>
+
+Writes are atomic (staged into a temp directory, then renamed), so a
+crashed or concurrent writer leaves either no entry or a whole one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+def file_sha256(path: Path) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    def to_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "evictions": self.evictions}
+
+
+@dataclass
+class ResultCache:
+    """A content-addressed store of run results and their artifacts."""
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _entry_dir(self, key: str) -> Path:
+        if len(key) < 3:
+            raise ValueError(f"malformed cache key {key!r}")
+        return self.root / key[:2] / key
+
+    def get(self, key: str, restore_dir: Path) -> dict | None:
+        """Return the stored value, restoring artifacts into ``restore_dir``.
+
+        Returns ``None`` (a miss) when the entry is absent, unreadable,
+        or any artifact fails its sha256 check — corrupt entries are
+        evicted on the way out.
+        """
+        entry = self._entry_dir(key)
+        manifest_path = entry / "manifest.json"
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        try:
+            restore_dir = Path(restore_dir)
+            restore_dir.mkdir(parents=True, exist_ok=True)
+            staged = []
+            for art in manifest.get("artifacts", []):
+                src = entry / art["name"]
+                if file_sha256(src) != art["sha256"]:
+                    raise ValueError(f"artifact {art['name']} fingerprint "
+                                     f"mismatch")
+                staged.append((src, restore_dir / art["name"]))
+            for src, dst in staged:
+                shutil.copyfile(src, dst)
+        except (OSError, KeyError, ValueError):
+            self.evict(key)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return manifest["value"]
+
+    def put(self, key: str, value: dict, artifact_dir: Path) -> bool:
+        """Store ``value`` plus the artifacts it names in ``artifact_dir``.
+
+        Artifact names come from ``value["artifacts"]`` (relative paths).
+        Returns False — without raising — when the value is not
+        JSON-serializable or an artifact is missing: a broken store must
+        never fail the run that produced the result.
+        """
+        entry = self._entry_dir(key)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        stage = Path(tempfile.mkdtemp(prefix=".stage-", dir=self.root))
+        try:
+            artifacts = []
+            for name in (value or {}).get("artifacts", []):
+                src = Path(artifact_dir) / name
+                dst = stage / name
+                dst.parent.mkdir(parents=True, exist_ok=True)
+                shutil.copyfile(src, dst)
+                artifacts.append({"name": name, "sha256": file_sha256(dst)})
+            manifest = {"key": key, "value": value, "artifacts": artifacts}
+            (stage / "manifest.json").write_text(
+                json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+            )
+            if entry.exists():
+                shutil.rmtree(entry, ignore_errors=True)
+            stage.rename(entry)
+        except (OSError, TypeError, ValueError):
+            shutil.rmtree(stage, ignore_errors=True)
+            return False
+        self.stats.stores += 1
+        return True
+
+    def evict(self, key: str) -> None:
+        shutil.rmtree(self._entry_dir(key), ignore_errors=True)
+        self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*/manifest.json"))

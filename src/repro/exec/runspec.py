@@ -1,0 +1,102 @@
+"""Picklable units of work for the parallel run engine.
+
+A :class:`RunSpec` names a *module-level* worker function by dotted path
+(``"repro.check.parallel:run_audit_schedule"``) plus JSON-serializable
+keyword arguments.  Keeping the payload declarative — no live objects,
+no closures — is what makes a spec safe to ship to a spawned process
+and what makes its cache key well-defined: the key is the sha256 of the
+canonical JSON of ``{fn, kwargs}``, the same hash family the run
+registry stamps on ``.aptrc`` archives.
+
+The worker function contract::
+
+    def fn(out_dir: Path, **kwargs) -> dict
+
+It writes any artifact files (archives, reports) into ``out_dir`` using
+names unique to this spec (conventionally derived from ``tag``), lists
+them under the ``"artifacts"`` key of its returned dict (paths relative
+to ``out_dir``), and returns only JSON-serializable data — the return
+value is pickled back to the parent and may be persisted by the result
+cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+def cache_key_for(fn: str, kwargs: dict) -> str:
+    """The sha256 cache key of one unit of work.
+
+    Canonical JSON (sorted keys, no whitespace) over the function path
+    and its kwargs — anything that changes the run's inputs changes the
+    key, anything that doesn't (scratch paths, job counts) must stay out
+    of ``kwargs``.
+    """
+    try:
+        blob = json.dumps({"fn": fn, "kwargs": kwargs}, sort_keys=True,
+                          separators=(",", ":"))
+    except TypeError as exc:
+        raise ValueError(
+            f"RunSpec kwargs must be JSON-serializable to be cacheable: {exc}"
+        ) from None
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def resolve_fn(path: str) -> Callable[..., Any]:
+    """Import ``"pkg.module:function"`` and return the callable."""
+    module_name, sep, fn_name = path.partition(":")
+    if not sep or not module_name or not fn_name:
+        raise ValueError(
+            f"worker function path must look like 'pkg.module:function': "
+            f"{path!r}"
+        )
+    module = importlib.import_module(module_name)
+    fn = getattr(module, fn_name, None)
+    if not callable(fn):
+        raise ValueError(f"{path!r} does not name a callable")
+    return fn
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One replayable unit of work for :func:`repro.exec.execute`."""
+
+    #: Merge position: results are returned sorted by spec order, so the
+    #: index must be unique within one ``execute`` call.
+    index: int
+    #: Dotted path of the worker function, ``"pkg.module:function"``.
+    fn: str
+    #: JSON-serializable keyword arguments (the cache key material).
+    kwargs: dict = field(default_factory=dict)
+    #: Human-readable label (``"s3"``, ``"seed7"``); also the convention
+    #: workers use to name their artifact files uniquely.
+    tag: str = ""
+    #: Precomputed cache key; ``None`` disables caching for this spec.
+    cache_key: str | None = None
+
+    def with_cache_key(self) -> "RunSpec":
+        """A copy of this spec with its cache key filled in."""
+        from dataclasses import replace
+
+        return replace(self, cache_key=cache_key_for(self.fn, self.kwargs))
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """What one spec produced: a value, a cached value, or a failure."""
+
+    index: int
+    tag: str
+    ok: bool
+    #: The worker function's return value (``None`` on failure).
+    value: Any = None
+    #: ``"ExcType: message"`` for an exception, or a description of a
+    #: worker-process death, when ``ok`` is False.
+    error: str | None = None
+    #: True when the value was served from the result cache.
+    cached: bool = False

@@ -42,7 +42,12 @@ def test_check_generated_programs(tmp_path, capsys):
     assert "generated-0: pass" in out
     assert "generated-1: pass" in out
     data = json.loads(report.read_text())
-    assert isinstance(data, list) and len(data) == 2
+    # multi-workload reports carry the aggregated exit codes alongside
+    # the per-workload verdicts (a bare list used to hide them)
+    assert data["exit_code"] == 0
+    assert data["exit_codes"] == []
+    assert len(data["reports"]) == 2
+    assert all(r["verdict"] == "pass" for r in data["reports"])
 
 
 def test_check_keep_archives(tmp_path, capsys):

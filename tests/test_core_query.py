@@ -70,6 +70,35 @@ def test_parse_errors():
             parse(bad)
 
 
+def test_lexer_rejects_stray_characters():
+    """A character no token can match is an error naming char + column —
+    ``findall`` used to skip it silently, so ``src == 0 @ group by dst``
+    quietly parsed as ``src == 0 group by dst``."""
+    with pytest.raises(QueryError) as exc:
+        parse("sends where src == 0 @ group by dst")
+    msg = str(exc.value)
+    assert "'@'" in msg and "column 22" in msg
+    for bad in (
+        "sends where src == $1",
+        "sends; drop",
+        "sends where size == 0.5",
+        "sends where src == 0 # comment",
+    ):
+        with pytest.raises(QueryError, match="unexpected character"):
+            parse(bad)
+
+
+def test_parse_negative_integer_literal():
+    q = parse("sends where size > -1")
+    assert q.conditions[0].value == -1
+    assert parse("bytes where dst >= -12").conditions[0].value == -12
+
+
+def test_top_still_rejects_negative():
+    with pytest.raises(QueryError):
+        parse("sends group by dst top -1")
+
+
 # ------------------------------------------------------------ evaluation
 
 
@@ -139,3 +168,29 @@ def test_field_to_field_comparison(logical):
     t.record(0, 1, 8)
     assert run_query(t, "sends where src == dst") == 1
     assert run_query(t, "sends where src != dst") == 1
+
+
+def test_negative_values_evaluate_in_memory(logical):
+    """`size > -1` must match everything, not raise or match nothing."""
+    total = run_query(logical, "sends")
+    assert run_query(logical, "sends where size > -1") == total
+    assert run_query(logical, "sends where size < -1") == 0
+    assert (run_query(logical, "bytes where dst >= -3 group by dst")
+            == run_query(logical, "bytes group by dst"))
+
+
+def test_negative_values_evaluate_on_archive():
+    """The archive-backed (vectorized) path accepts negatives too."""
+    from pathlib import Path
+
+    from repro.core.store.archive import Archive
+
+    golden = Path(__file__).resolve().parent / "golden" / "histogram.aptrc"
+    with Archive(golden) as archive:
+        section = archive.section("logical")
+        total = run_query(section, "sends")
+        assert total > 0
+        assert run_query(section, "sends where size > -1") == total
+        assert run_query(section, "sends where src <= -1") == 0
+        with pytest.raises(QueryError):
+            run_query(section, "sends where src == 0 @ group by dst")
