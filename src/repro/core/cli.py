@@ -30,7 +30,11 @@ Beyond the paper scripts, the CLI fronts the binary trace store
 * ``actorprof run APP`` executes a built-in app under the profiler —
   optionally under ``--fault-plan`` — archiving the traces; a run that
   dies mid-execution is salvaged into a degraded archive (exit code 3)
-  instead of losing everything.
+  instead of losing everything,
+* ``actorprof serve`` runs the long-lived trace service
+  (:mod:`repro.serve`): streaming archive ingest with backpressure plus
+  registry/query/diff over HTTP; ``actorprof push RUN.aptrc`` uploads
+  an archive to it.
 
 Examples::
 
@@ -138,6 +142,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_main(argv[1:])
     if argv and argv[0] == "check":
         return _check_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
+    if argv and argv[0] == "push":
+        return _push_main(argv[1:])
     args = build_parser().parse_args(argv)
     if not (args.logical or args.papi or args.overall or args.physical
             or args.timeline or args.query or args.export_archive):
@@ -956,6 +964,149 @@ def _check_main(argv: list[str]) -> int:
         args.report.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote verdict report → {args.report}")
     return exit_code
+
+
+# ----------------------------------------------------------------------
+# `actorprof serve` / `actorprof push` — the trace service
+# ----------------------------------------------------------------------
+
+def _serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="actorprof serve",
+        description="run the ActorProf trace service: streaming .aptrc "
+                    "ingest with backpressure, a sharded run registry, "
+                    "and query/diff endpoints backed by a worker pool "
+                    "and a shared content-addressed result cache "
+                    "(see docs/SERVICE.md)",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8750,
+                        help="TCP port (default 8750; 0 picks a free one)")
+    parser.add_argument("--data-dir", type=Path,
+                        default=Path("actorprof-serve"),
+                        help="service state root: registry, artifact "
+                             "store, and upload spool (default "
+                             "./actorprof-serve)")
+    parser.add_argument("--registry", type=Path, default=None,
+                        help="serve an existing registry directory "
+                             "instead of DATA_DIR/runs")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="registry manifest shards for write "
+                             "concurrency (default 4; fixed at registry "
+                             "creation)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="query/diff worker pool width (default 4)")
+    parser.add_argument("--worker-mode", default="thread",
+                        choices=("thread", "process"),
+                        help="run queries inline on pool threads "
+                             "(default) or in spawned, crash-isolated "
+                             "worker processes")
+    parser.add_argument("--cache-max-bytes", type=int,
+                        default=256 * 1024 * 1024, metavar="N",
+                        help="artifact-store LRU size cap (default "
+                             "256 MiB; 0 = unbounded)")
+    parser.add_argument("--max-active-ingests", type=int, default=8,
+                        metavar="N",
+                        help="concurrent uploads admitted before 429 "
+                             "(default 8)")
+    parser.add_argument("--max-archive-bytes", type=int,
+                        default=64 * 1024 * 1024, metavar="N",
+                        help="largest accepted archive (default 64 MiB)")
+    parser.add_argument("--max-pending-bytes", type=int,
+                        default=256 * 1024 * 1024, metavar="N",
+                        help="total spool reservation before 429 "
+                             "(default 256 MiB)")
+    parser.add_argument("--retry-after", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="Retry-After advertised on 429 (default 1)")
+    parser.add_argument("--allow-remote-shutdown", action="store_true",
+                        help="enable POST /shutdown (tests and CI smoke)")
+    return parser
+
+
+def _serve_main(argv: list[str]) -> int:
+    from repro.serve import IngestLimits, ServerConfig
+    from repro.serve import run as serve_run
+
+    args = _serve_parser().parse_args(argv)
+    try:
+        config = ServerConfig(
+            data_dir=args.data_dir,
+            host=args.host,
+            port=args.port,
+            shards=args.shards,
+            workers=args.workers,
+            worker_mode=args.worker_mode,
+            cache_max_bytes=args.cache_max_bytes or None,
+            ingest=IngestLimits(
+                max_active=args.max_active_ingests,
+                max_archive_bytes=args.max_archive_bytes,
+                max_pending_bytes=args.max_pending_bytes,
+                retry_after=args.retry_after,
+            ),
+            allow_shutdown=args.allow_remote_shutdown,
+            registry_root=args.registry,
+        )
+        return serve_run(config)
+    except (ValueError, OSError) as exc:
+        print(f"serve failed: {exc}", file=sys.stderr)
+        return 2
+
+
+def _push_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="actorprof push",
+        description="upload a .aptrc archive to a running ActorProf "
+                    "service (chunked streaming; waits out 429 "
+                    "backpressure and retries)",
+    )
+    parser.add_argument("archive", type=Path, help="the .aptrc to upload")
+    parser.add_argument("--server", default="127.0.0.1:8750",
+                        metavar="HOST:PORT",
+                        help="service address (default 127.0.0.1:8750)")
+    parser.add_argument("--id", default=None,
+                        help="run id to register under (default: "
+                             "run-<fingerprint prefix>, which makes "
+                             "pushes idempotent)")
+    parser.add_argument("--retries", type=int, default=8,
+                        help="rounds of backpressure to wait out "
+                             "(default 8)")
+    return parser
+
+
+def _push_main(argv: list[str]) -> int:
+    from repro.serve import Backpressure, ServeClient, ServeError
+
+    args = _push_parser().parse_args(argv)
+    if not args.archive.is_file():
+        print(f"archive {args.archive} does not exist", file=sys.stderr)
+        return 2
+    host, _, port_text = args.server.partition(":")
+    try:
+        port = int(port_text) if port_text else 8750
+    except ValueError:
+        print(f"bad --server {args.server!r}: use HOST:PORT",
+              file=sys.stderr)
+        return 2
+    client = ServeClient(host or "127.0.0.1", port)
+    try:
+        result = client.push(args.archive, run_id=args.id,
+                             retries=args.retries)
+    except Backpressure as exc:
+        print(f"push failed: server still under backpressure after "
+              f"{args.retries} retries ({exc.message})", file=sys.stderr)
+        return 4
+    except (ServeError, OSError) as exc:
+        print(f"push failed: {exc}", file=sys.stderr)
+        return 2
+    verb = "deduplicated against" if result.get("deduped") else "registered as"
+    print(f"pushed {args.archive} → {verb} {result['run']} "
+          f"({result['size_bytes']:,} bytes, "
+          f"sha256 {result['fingerprint'][:12]})")
+    if result.get("degraded"):
+        print("note: archive is degraded (salvaged from a failed run)")
+    return 0
 
 
 # ----------------------------------------------------------------------

@@ -141,6 +141,29 @@ class Query:
     group_by: str | None = None
     top: int | None = None
 
+    def canonical(self) -> str:
+        """Render the query back to its one canonical spelling.
+
+        Every equivalent surface form — extra whitespace, metric/field
+        case —
+        parses to the same :class:`Query` and therefore renders to the
+        same string, which is what makes the text usable as a cache-key
+        component (see :func:`normalize`).
+        """
+        parts = [self.metric]
+        if self.conditions:
+            rendered = []
+            for c in self.conditions:
+                value = (c.value.name if isinstance(c.value, FieldRef)
+                         else str(c.value))
+                rendered.append(f"{c.field} {c.op} {value}")
+            parts.append("where " + " and ".join(rendered))
+        if self.group_by is not None:
+            parts.append(f"group by {self.group_by}")
+        if self.top is not None:
+            parts.append(f"top {self.top}")
+        return " ".join(parts)
+
 
 def parse(text: str) -> Query:
     """Parse a query string (see module grammar)."""
@@ -152,8 +175,15 @@ def parse(text: str) -> Query:
     def peek() -> str | None:
         return tokens[pos] if pos < len(tokens) else None
 
+    def peek_kw() -> str | None:
+        """Next token lowercased — keywords are case-insensitive."""
+        tok = peek()
+        return tok.lower() if tok is not None else None
+
     def take() -> str:
         nonlocal pos
+        if pos >= len(tokens):  # "sends where" used to IndexError here
+            raise QueryError(f"query ended unexpectedly: {text!r}")
         tok = tokens[pos]
         pos += 1
         return tok
@@ -164,7 +194,7 @@ def parse(text: str) -> Query:
     conditions: list[Condition] = []
     group_by: str | None = None
     top: int | None = None
-    if peek() == "where":
+    if peek_kw() == "where":
         take()
         while True:
             fld = take().lower()
@@ -189,20 +219,20 @@ def parse(text: str) -> Query:
             if fld == "kind" and op not in ("==", "!="):
                 raise QueryError("kind supports only == and !=")
             conditions.append(Condition(fld, op, value))
-            if peek() == "and":
+            if peek_kw() == "and":
                 take()
                 continue
             break
-    if peek() == "group":
+    if peek_kw() == "group":
         take()
-        if peek() != "by":
+        if peek_kw() != "by":
             raise QueryError('expected "by" after "group"')
         take()
         fld = take().lower()
         if fld not in _FIELDS:
             raise QueryError(f"cannot group by {fld!r}")
         group_by = fld
-    if peek() == "top":
+    if peek_kw() == "top":
         take()
         raw = peek()
         if raw is None or not raw.isdigit():
@@ -214,6 +244,18 @@ def parse(text: str) -> Query:
     if peek() is not None:
         raise QueryError(f"unexpected trailing token {peek()!r}")
     return Query(metric, tuple(conditions), group_by, top)
+
+
+def normalize(text: str) -> str:
+    """The canonical spelling of a query (parse, then re-render).
+
+    The serve layer's artifact store keys cached query results on
+    ``(archive fingerprint, section, normalize(query))`` so cosmetic
+    variants — ``"sends  where src==0"`` vs ``"sends where src == 0"``
+    — hit the same entry.  Raises :class:`QueryError` for any query
+    that would not evaluate.
+    """
+    return parse(text).canonical()
 
 
 def _logical_rows(trace: LogicalTrace):

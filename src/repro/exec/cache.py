@@ -17,14 +17,22 @@ Layout::
 
 Writes are atomic (staged into a temp directory, then renamed), so a
 crashed or concurrent writer leaves either no entry or a whole one.
+
+The store may be size-bounded: with ``max_bytes`` set, every ``put``
+enforces the cap by evicting least-recently-used entries (a hit
+refreshes an entry's recency stamp) until the store fits.  The entry
+just stored is never the eviction victim, so a single oversized result
+still lands — the cap is a steady-state bound, not an admission filter.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import shutil
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -39,14 +47,23 @@ def file_sha256(path: Path) -> str:
 
 @dataclass
 class CacheStats:
+    """Hit/miss/store/evict counters, safe to bump from several threads."""
+
     hits: int = 0
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def bump(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + n)
 
     def to_dict(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses,
-                "stores": self.stores, "evictions": self.evictions}
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "stores": self.stores, "evictions": self.evictions}
 
 
 @dataclass
@@ -55,10 +72,15 @@ class ResultCache:
 
     root: Path
     stats: CacheStats = field(default_factory=CacheStats)
+    #: Total on-disk size bound; ``None`` leaves the store unbounded.
+    max_bytes: int | None = None
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
         self.root.mkdir(parents=True, exist_ok=True)
+        if self.max_bytes is not None and self.max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1: {self.max_bytes}")
+        self._cap_lock = threading.Lock()
 
     def _entry_dir(self, key: str) -> Path:
         if len(key) < 3:
@@ -77,7 +99,7 @@ class ResultCache:
         try:
             manifest = json.loads(manifest_path.read_text())
         except (OSError, ValueError):
-            self.stats.misses += 1
+            self.stats.bump("misses")
             return None
         try:
             restore_dir = Path(restore_dir)
@@ -93,9 +115,13 @@ class ResultCache:
                 shutil.copyfile(src, dst)
         except (OSError, KeyError, ValueError):
             self.evict(key)
-            self.stats.misses += 1
+            self.stats.bump("misses")
             return None
-        self.stats.hits += 1
+        try:
+            os.utime(manifest_path)  # refresh LRU recency stamp
+        except OSError:
+            pass
+        self.stats.bump("hits")
         return manifest["value"]
 
     def put(self, key: str, value: dict, artifact_dir: Path) -> bool:
@@ -127,12 +153,54 @@ class ResultCache:
         except (OSError, TypeError, ValueError):
             shutil.rmtree(stage, ignore_errors=True)
             return False
-        self.stats.stores += 1
+        self.stats.bump("stores")
+        if self.max_bytes is not None:
+            self._enforce_cap(protect=key)
         return True
 
     def evict(self, key: str) -> None:
         shutil.rmtree(self._entry_dir(key), ignore_errors=True)
-        self.stats.evictions += 1
+        self.stats.bump("evictions")
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("??/*/manifest.json"))
+
+    # -- size bounding ----------------------------------------------------
+
+    def entries(self) -> list[tuple[str, float, int]]:
+        """Every entry as ``(key, recency_stamp, size_bytes)``.
+
+        The recency stamp is the manifest's mtime: set at store time and
+        refreshed on every hit, which is exactly LRU order.
+        """
+        out = []
+        for manifest in self.root.glob("??/*/manifest.json"):
+            entry = manifest.parent
+            try:
+                stamp = manifest.stat().st_mtime
+                size = sum(p.stat().st_size
+                           for p in entry.iterdir() if p.is_file())
+            except OSError:
+                continue  # concurrently evicted
+            out.append((entry.name, stamp, size))
+        return out
+
+    def total_bytes(self) -> int:
+        return sum(size for _, _, size in self.entries())
+
+    def _enforce_cap(self, protect: str | None = None) -> None:
+        """Evict least-recently-used entries until the store fits.
+
+        ``protect`` (the entry just stored) is never evicted — otherwise
+        one result larger than the cap would thrash forever.
+        """
+        with self._cap_lock:
+            ranked = sorted(self.entries(), key=lambda e: (e[1], e[0]))
+            total = sum(size for _, _, size in ranked)
+            for key, _, size in ranked:
+                if total <= self.max_bytes:
+                    break
+                if key == protect:
+                    continue
+                self.evict(key)
+                total -= size

@@ -1,0 +1,86 @@
+"""Run an :class:`~repro.serve.arbiter.Arbiter` on a background thread.
+
+For embedding the service into a process that is not itself asyncio —
+pytest fixtures, the throughput benchmark, notebooks::
+
+    with ServerThread(ServerConfig(data_dir=tmp, port=0)) as server:
+        client = server.client()
+        client.push("run.aptrc")
+
+The context manager guarantees a clean shutdown: the arbiter's loop is
+asked to stop, the thread is joined, and startup errors (port in use,
+bad config) surface as exceptions in the starting thread instead of
+dying silently on the background one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.serve.arbiter import Arbiter, ServerConfig
+from repro.serve.client import ServeClient
+
+
+class ServerThread:
+    """One service instance on a dedicated thread + event loop."""
+
+    def __init__(self, config: ServerConfig,
+                 startup_timeout: float = 15.0) -> None:
+        self.config = config
+        self.arbiter: Arbiter | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="actorprof-serve")
+        self._thread.start()
+        if not self._ready.wait(startup_timeout):
+            raise TimeoutError("service did not start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+
+    @property
+    def port(self) -> int:
+        assert self.arbiter is not None and self.arbiter.port is not None
+        return self.arbiter.port
+
+    def client(self, timeout: float = 30.0) -> ServeClient:
+        return ServeClient(self.config.host, self.port, timeout=timeout)
+
+    def stop(self, join_timeout: float = 15.0) -> None:
+        if self._loop is not None and self._loop.is_running():
+            arbiter = self.arbiter
+            if arbiter is not None:
+                self._loop.call_soon_threadsafe(arbiter.request_shutdown)
+        self._thread.join(join_timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- thread body ------------------------------------------------------
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - reported to starter
+            if not self._ready.is_set():
+                self._startup_error = exc
+                self._ready.set()
+            else:
+                raise
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.arbiter = Arbiter(self.config)
+        try:
+            await self.arbiter.start()
+        except BaseException as exc:  # noqa: BLE001 - reported to starter
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self.arbiter.serve_forever()

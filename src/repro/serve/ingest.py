@@ -1,0 +1,129 @@
+"""Streaming archive ingest with explicit backpressure.
+
+Uploads are admitted through an :class:`IngestGate` that reserves spool
+capacity *before* any body byte is read: when every ingest slot is busy
+or the spill buffer is fully reserved, the client gets ``429`` with a
+``Retry-After`` header instead of an ever-growing queue — memory and
+disk stay bounded no matter how many runs push at once.  Admitted
+uploads stream chunk-by-chunk to a ``.part`` spool file (hashing as
+they go, never buffering the archive in memory) and are validated as
+``.aptrc`` before registration; archives salvaged from crashed runs by
+the PR-2 salvage path carry a ``degraded`` footer flag and are accepted
+and registered as such — a partial *run* is worth keeping, a partial
+*upload* is not and is rejected with ``400``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.serve.http import HttpError, Request, iter_body
+
+
+@dataclass(frozen=True)
+class IngestLimits:
+    """Admission-control bounds for the ingest path."""
+
+    #: Concurrent uploads allowed past the gate.
+    max_active: int = 8
+    #: Largest single archive accepted (413 beyond this).
+    max_archive_bytes: int = 64 * 1024 * 1024
+    #: Total spool reservation across active uploads (429 beyond this).
+    max_pending_bytes: int = 256 * 1024 * 1024
+    #: Seconds clients should wait before retrying a 429.
+    retry_after: float = 1.0
+
+
+@dataclass
+class IngestStats:
+    accepted: int = 0
+    deduped: int = 0
+    degraded: int = 0
+    rejected_backpressure: int = 0
+    rejected_oversize: int = 0
+    rejected_corrupt: int = 0
+    bytes_ingested: int = 0
+
+    def to_dict(self) -> dict:
+        return dict(vars(self))
+
+
+class Backpressure(HttpError):
+    """429 + Retry-After: the ingest queue is full, try again shortly."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(429, message,
+                         headers={"Retry-After": f"{retry_after:g}"})
+
+
+@dataclass
+class IngestGate:
+    """Bounded admission for uploads (single event loop, no locking).
+
+    A successful :meth:`admit` reserves one slot and a worst-case byte
+    budget — the declared ``Content-Length`` when the client sent one,
+    else the archive size cap — and returns the reservation, which MUST
+    be released when the upload ends, however it ends.
+    """
+
+    limits: IngestLimits = field(default_factory=IngestLimits)
+    stats: IngestStats = field(default_factory=IngestStats)
+    active: int = 0
+    reserved_bytes: int = 0
+
+    def admit(self, declared_length: int | None) -> int:
+        reservation = (declared_length if declared_length is not None
+                       else self.limits.max_archive_bytes)
+        if reservation > self.limits.max_archive_bytes:
+            self.stats.rejected_oversize += 1
+            raise HttpError(
+                413, f"archive of {reservation:,} bytes exceeds the "
+                     f"{self.limits.max_archive_bytes:,}-byte limit")
+        if (self.active >= self.limits.max_active
+                or self.reserved_bytes + reservation
+                > self.limits.max_pending_bytes):
+            self.stats.rejected_backpressure += 1
+            raise Backpressure(
+                f"ingest at capacity ({self.active} active uploads, "
+                f"{self.reserved_bytes:,} bytes reserved); retry shortly",
+                self.limits.retry_after)
+        self.active += 1
+        self.reserved_bytes += reservation
+        return reservation
+
+    def release(self, reservation: int) -> None:
+        self.active -= 1
+        self.reserved_bytes -= reservation
+
+
+async def spool_upload(request: Request, reader: asyncio.StreamReader,
+                       spool_dir: Path,
+                       limits: IngestLimits) -> tuple[Path, str, int]:
+    """Stream the request body into a spool file.
+
+    Returns ``(part_path, sha256_fingerprint, byte_count)``.  The caller
+    owns the spool file and must move or delete it.  Any failure —
+    truncation, oversize — deletes the partial file before re-raising.
+    """
+    spool_dir.mkdir(parents=True, exist_ok=True)
+    part = spool_dir / f"upload-{uuid.uuid4().hex}.part"
+    digest = hashlib.sha256()
+    total = 0
+    try:
+        with open(part, "wb") as sink:
+            async for chunk in iter_body(reader, request,
+                                         limits.max_archive_bytes):
+                sink.write(chunk)
+                digest.update(chunk)
+                total += len(chunk)
+    except BaseException:
+        part.unlink(missing_ok=True)
+        raise
+    if total == 0:
+        part.unlink(missing_ok=True)
+        raise HttpError(400, "empty upload: no archive bytes received")
+    return part, digest.hexdigest(), total

@@ -1,0 +1,40 @@
+"""Worker functions the service dispatches through :mod:`repro.exec`.
+
+These follow the engine's worker contract (module-level, dotted-path
+addressable, JSON-serializable kwargs and return values) so one
+function body serves every execution mode: inline in a dispatch
+thread, or crash-isolated in a spawned worker process, with the
+artifact store's content-addressed key riding along as the spec's
+``cache_key``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.query import run_query
+from repro.core.store.archive import Archive, ArchiveError
+
+
+def run_query_task(out_dir: Path, *, archive: str, section: str,
+                   query: str) -> dict:
+    """Evaluate one normalized query over one archive section."""
+    with Archive(archive) as ar:
+        if not ar.has_section(section):
+            raise ArchiveError(
+                f"archive has no {section!r} section "
+                f"(have {', '.join(ar.sections) or 'none'})")
+        result = run_query(ar.section(section), query)
+    if isinstance(result, list):  # (group, amount) pairs → JSON arrays
+        result = [[key, amount] for key, amount in result]
+    return {"result": result}
+
+
+def run_diff_task(out_dir: Path, *, archive_a: str, archive_b: str,
+                  label_a: str, label_b: str) -> dict:
+    """Render the side-by-side diff report for two archives."""
+    from repro.core.diffing import diff_runs
+
+    report = diff_runs(archive_a, archive_b, label_a=label_a,
+                       label_b=label_b)
+    return {"report": report}

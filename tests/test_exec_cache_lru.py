@@ -1,0 +1,133 @@
+"""Size-bounding (LRU) behavior of the `repro.exec` ResultCache."""
+
+import os
+import time
+
+import pytest
+
+from repro.exec.cache import ResultCache
+
+
+def put_entry(cache: ResultCache, key: str, payload_bytes: int,
+              tmp_path) -> None:
+    art_dir = tmp_path / "arts"
+    art_dir.mkdir(exist_ok=True)
+    name = f"{key}.bin"
+    (art_dir / name).write_bytes(b"x" * payload_bytes)
+    assert cache.put(key, {"artifacts": [name], "n": key}, art_dir)
+
+
+def age(cache: ResultCache, key: str, seconds_ago: float) -> None:
+    """Backdate an entry's recency stamp (mtime drives LRU order)."""
+    manifest = cache.root / key[:2] / key / "manifest.json"
+    stamp = time.time() - seconds_ago
+    os.utime(manifest, (stamp, stamp))
+
+
+def keys_in(cache: ResultCache) -> set:
+    return {key for key, _, _ in cache.entries()}
+
+
+def k(i: int) -> str:
+    return f"{i:02d}" + "e" * 62
+
+
+def entry_size(tmp_path, payload_bytes: int = 1000) -> int:
+    """Measure the real on-disk cost of one entry (payload + manifest)."""
+    probe = ResultCache(tmp_path / "probe")
+    put_entry(probe, k(99), payload_bytes, tmp_path)
+    return probe.total_bytes()
+
+
+def test_unbounded_by_default(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    for i in range(8):
+        put_entry(cache, k(i), 1000, tmp_path)
+    assert len(cache) == 8
+    assert cache.stats.evictions == 0
+
+
+def test_cap_evicts_oldest_first(tmp_path):
+    one = entry_size(tmp_path)
+    cache = ResultCache(tmp_path / "c", max_bytes=3 * one + one // 2)
+    for i in range(3):
+        put_entry(cache, k(i), 1000, tmp_path)
+        age(cache, k(i), seconds_ago=100 - i)
+    assert len(cache) == 3
+    # entry 3 pushes the total over the cap → the oldest (0) is evicted
+    put_entry(cache, k(3), 1000, tmp_path)
+    survivors = keys_in(cache)
+    assert k(0) not in survivors
+    assert {k(1), k(2), k(3)} <= survivors
+    assert cache.stats.evictions >= 1
+
+
+def test_hit_refreshes_recency(tmp_path):
+    one = entry_size(tmp_path)
+    cache = ResultCache(tmp_path / "c", max_bytes=3 * one + one // 2)
+    for i in range(3):
+        put_entry(cache, k(i), 1000, tmp_path)
+        age(cache, k(i), seconds_ago=100 - i)
+    # touching the oldest entry makes it the newest…
+    assert cache.get(k(0), tmp_path / "restore") is not None
+    # …so the next overflow evicts k(1) instead
+    put_entry(cache, k(3), 1000, tmp_path)
+    survivors = keys_in(cache)
+    assert k(0) in survivors
+    assert k(1) not in survivors
+
+
+def test_just_stored_entry_is_never_the_victim(tmp_path):
+    cache = ResultCache(tmp_path / "c", max_bytes=100)
+    put_entry(cache, k(0), 5000, tmp_path)  # alone over the cap
+    assert keys_in(cache) == {k(0)}
+    # a second oversized store replaces it rather than thrashing both
+    put_entry(cache, k(1), 5000, tmp_path)
+    assert keys_in(cache) == {k(1)}
+
+
+def test_eviction_frees_real_bytes(tmp_path):
+    cache = ResultCache(tmp_path / "c", max_bytes=10_000)
+    for i in range(20):
+        put_entry(cache, k(i), 2000, tmp_path)
+    assert cache.total_bytes() <= 10_000
+    assert len(cache) <= 5
+
+
+def test_tampered_entry_evicts_and_count_stays_consistent(tmp_path):
+    # evict-on-tamper (PR 4) and cap eviction share the accounting:
+    # a tamper-evicted entry stops counting against the cap
+    cache = ResultCache(tmp_path / "c", max_bytes=5000)
+    put_entry(cache, k(0), 2000, tmp_path)
+    put_entry(cache, k(1), 2000, tmp_path)
+    victim = cache.root / k(0)[:2] / k(0) / f"{k(0)}.bin"
+    victim.write_bytes(b"tampered")
+    assert cache.get(k(0), tmp_path / "restore") is None  # miss + evict
+    assert keys_in(cache) == {k(1)}
+    # freed space means two more entries fit without touching k(1)
+    put_entry(cache, k(2), 2000, tmp_path)
+    assert k(1) in keys_in(cache)
+    assert cache.stats.evictions == 1
+
+
+def test_bad_max_bytes_rejected(tmp_path):
+    with pytest.raises(ValueError, match="max_bytes"):
+        ResultCache(tmp_path / "c", max_bytes=0)
+
+
+def test_stats_bump_is_thread_safe(tmp_path):
+    import threading
+
+    cache = ResultCache(tmp_path / "c")
+    n, rounds = 8, 500
+
+    def worker():
+        for _ in range(rounds):
+            cache.stats.bump("hits")
+
+    threads = [threading.Thread(target=worker) for _ in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert cache.stats.hits == n * rounds

@@ -1,0 +1,69 @@
+"""Content-addressed keys + normalization behind the artifact store."""
+
+import pytest
+
+from repro.core.query import QueryError, normalize, parse
+from repro.serve.artifacts import ArtifactStore, diff_key, query_key
+
+
+def test_normalize_collapses_cosmetic_variants():
+    canonical = normalize("sends where src == 0 group by dst top 5")
+    variants = [
+        "sends  where   src==0 group by dst top 5",
+        "SENDS WHERE SRC == 0 GROUP BY DST TOP 5",
+        "sends where src ==0 group  by dst top 5",
+    ]
+    for variant in variants:
+        assert normalize(variant) == canonical, variant
+    # and canonical text is a fixed point
+    assert normalize(canonical) == canonical
+
+
+def test_normalize_keeps_semantic_differences_apart():
+    assert normalize("sends where src == 0") != normalize("sends where dst == 0")
+    assert normalize("sends") != normalize("bytes")
+    assert normalize("sends top 5") != normalize("sends top 6")
+
+
+def test_canonical_renders_every_clause():
+    q = parse("bytes where src != dst and size >= 64 group by kind top 3")
+    assert q.canonical() == ("bytes where src != dst and size >= 64 "
+                             "group by kind top 3")
+    assert parse("ops").canonical() == "ops"
+
+
+def test_normalize_rejects_bad_queries():
+    for bad in ("", "sends where", "frobnicate", "sends where src @ 1"):
+        with pytest.raises(QueryError):
+            normalize(bad)
+
+
+def test_query_key_tracks_every_component():
+    base = query_key("f" * 64, "logical", "sends")
+    assert len(base) == 64 and base == query_key("f" * 64, "logical", "sends")
+    assert query_key("e" * 64, "logical", "sends") != base
+    assert query_key("f" * 64, "physical", "sends") != base
+    assert query_key("f" * 64, "logical", "bytes") != base
+
+
+def test_diff_key_is_order_sensitive():
+    a, b = "a" * 64, "b" * 64
+    assert diff_key(a, b) == diff_key(a, b)
+    assert diff_key(a, b) != diff_key(b, a)  # diff(a,b) != diff(b,a)
+    assert diff_key(a, b) != query_key(a, "logical", b)  # kinds don't collide
+
+
+def test_store_roundtrip_and_stats(tmp_path):
+    store = ArtifactStore(tmp_path / "arts", max_bytes=1 << 20)
+    key = query_key("f" * 64, "logical", "sends")
+    art_dir = tmp_path / "payload"
+    art_dir.mkdir()
+    (art_dir / "result.json").write_text('{"result": 3}')
+    assert store.cache.put(key, {"artifacts": ["result.json"]}, art_dir)
+    restored = store.cache.get(key, tmp_path / "restore")
+    assert restored is not None
+    payload = store.to_dict()
+    assert payload["entries"] == 1
+    assert payload["bytes"] > 0
+    assert payload["max_bytes"] == 1 << 20
+    assert payload["hits"] == 1 and payload["stores"] == 1

@@ -1,0 +1,164 @@
+"""Unit tests for the hand-rolled HTTP/1.1 layer (`repro.serve.http`)."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.http import (
+    HttpError,
+    TruncatedBody,
+    iter_body,
+    read_body,
+    read_request,
+    response_bytes,
+)
+
+
+def run(fn):
+    """Call ``fn`` inside a fresh running loop (3.11 wants StreamReader
+    construction to happen while a loop is running) and await its result."""
+    async def go():
+        return await fn()
+    return asyncio.run(go())
+
+
+def reader_for(data: bytes, eof: bool = True) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+def parse(data: bytes):
+    return run(lambda: read_request(reader_for(data)))
+
+
+def test_parse_request_line_and_headers():
+    req = parse(b"GET /runs?limit=5&x=%20a HTTP/1.1\r\n"
+                b"Host: h\r\nX-Thing:  padded \r\n\r\n")
+    assert req.method == "GET"
+    assert req.path == "/runs"
+    assert req.params == {"limit": "5", "x": " a"}
+    assert req.headers["x-thing"] == "padded"
+    assert not req.has_body
+    assert req.body_consumed
+    assert req.keep_alive()
+
+
+def test_path_is_unquoted_and_defaults_to_root():
+    assert parse(b"GET /runs/my%20run HTTP/1.1\r\n\r\n").path == "/runs/my run"
+    assert parse(b"GET ?x=1 HTTP/1.1\r\n\r\n").path == "/"
+
+
+def test_clean_eof_returns_none():
+    assert parse(b"") is None
+
+
+def test_partial_head_is_truncation():
+    with pytest.raises(TruncatedBody):
+        parse(b"GET / HTTP/1.1\r\nHost")
+
+
+def test_malformed_request_line_and_header():
+    with pytest.raises(HttpError, match="request line"):
+        parse(b"GETGETGET\r\n\r\n")
+    with pytest.raises(HttpError, match="header line"):
+        parse(b"GET / HTTP/1.1\r\nbadheader\r\n\r\n")
+
+
+def test_connection_close_and_http10():
+    assert not parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive()
+    assert not parse(b"GET / HTTP/1.0\r\n\r\n").keep_alive()
+    assert parse(b"GET / HTTP/1.0\r\n"
+                 b"Connection: keep-alive\r\n\r\n").keep_alive()
+
+
+def test_bad_content_length():
+    # rejected while parsing the head (has_body consults the length)
+    with pytest.raises(HttpError, match="Content-Length"):
+        parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+
+
+def body_of(wire: bytes, max_bytes: int = 1 << 20) -> bytes:
+    async def go():
+        reader = reader_for(wire)
+        req = await read_request(reader)
+        assert not req.body_consumed
+        data = await read_body(reader, req, max_bytes)
+        assert req.body_consumed
+        return data
+    return run(go)
+
+
+def test_content_length_body():
+    assert body_of(b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello") == b"hello"
+
+
+def test_content_length_truncated():
+    with pytest.raises(TruncatedBody):
+        body_of(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nhel")
+
+
+def test_chunked_body_with_trailer():
+    wire = (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            b"4\r\nwiki\r\n5\r\npedia\r\n0\r\n"
+            b"X-Trailer: t\r\n\r\n")
+    assert body_of(wire) == b"wikipedia"
+
+
+def test_chunked_truncated_mid_chunk():
+    wire = (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            b"ff\r\nonly-a-few-bytes")
+    with pytest.raises(TruncatedBody):
+        body_of(wire)
+
+
+def test_chunked_missing_terminator():
+    wire = (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            b"4\r\nwikiXX5\r\npedia\r\n0\r\n\r\n")
+    with pytest.raises(HttpError, match="CRLF"):
+        body_of(wire)
+
+
+def test_chunked_bad_size_line():
+    wire = (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            b"zz\r\nxx\r\n0\r\n\r\n")
+    with pytest.raises(HttpError, match="chunk size"):
+        body_of(wire)
+
+
+def test_body_size_limit_enforced_while_streaming():
+    # the limit must cut the stream off as soon as it is crossed, not
+    # after the body is buffered
+    wire = (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            b"5\r\naaaaa\r\n5\r\nbbbbb\r\n0\r\n\r\n")
+
+    async def go():
+        reader = reader_for(wire)
+        req = await read_request(reader)
+        seen = []
+        with pytest.raises(HttpError) as excinfo:
+            async for chunk in iter_body(reader, req, max_bytes=7):
+                seen.append(chunk)
+        assert excinfo.value.status == 413
+        return seen
+
+    assert run(go) == [b"aaaaa"]  # second chunk never materialized
+
+
+def test_content_length_over_limit_rejected_before_reading():
+    wire = b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n" + b"x" * 100
+    with pytest.raises(HttpError) as excinfo:
+        body_of(wire, max_bytes=10)
+    assert excinfo.value.status == 413
+
+
+def test_response_bytes_shape():
+    wire = response_bytes(429, b'{"error": "slow down"}',
+                          headers={"Retry-After": "1"})
+    text = wire.decode()
+    assert text.startswith("HTTP/1.1 429 Too Many Requests\r\n")
+    assert "Retry-After: 1\r\n" in text
+    assert "Content-Length: 22\r\n" in text
+    assert text.endswith('\r\n\r\n{"error": "slow down"}')
