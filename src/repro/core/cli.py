@@ -331,9 +331,19 @@ def _render(args, archive, out, emitted, say) -> int:
                     if target == "logical":
                         trace = parse_logical_dir(args.trace_dir, args.num_pes)
                     else:
-                        trace = parse_physical_file(args.trace_dir, args.num_pes)
+                        # node layout isn't in physical.txt; borrow the
+                        # logical trace's machine spec when it's present
+                        spec = None
+                        try:
+                            spec = parse_logical_dir(
+                                args.trace_dir, args.num_pes).spec
+                        except (FileNotFoundError, ValueError):
+                            pass
+                        trace = parse_physical_file(
+                            args.trace_dir, args.num_pes, spec=spec)
                     result = run_query(trace, expr)
-            except (QueryError, FileNotFoundError, ArchiveError) as exc:
+            except (QueryError, FileNotFoundError, ValueError,
+                    ArchiveError) as exc:
                 print(f"query failed: {exc}", file=sys.stderr)
                 return 2
             print(f"[{target}] {expr}")
@@ -449,8 +459,18 @@ def _runs_main(argv: list[str]) -> int:
             with Archive(info.path) as archive:
                 for name in archive.sections:
                     section = archive.section(name)
-                    print(f"section {name}: {section.rows:,} rows, "
-                          f"columns {', '.join(section.columns)}")
+                    refs = [ref for col in section.columns
+                            for ref in section.chunk_refs(col)]
+                    with_stats = sum(1 for ref in refs if ref.stats is not None)
+                    if with_stats == len(refs) and refs:
+                        stats = "chunk stats (query pushdown enabled)"
+                    elif with_stats:
+                        stats = f"chunk stats on {with_stats}/{len(refs)} chunks"
+                    else:
+                        stats = "no chunk stats (full decode on query)"
+                    print(f"section {name}: {section.rows:,} rows in "
+                          f"{section.n_chunks} chunks, "
+                          f"columns {', '.join(section.columns)}, {stats}")
             return 0
         if args.command == "add":
             info = registry.add(args.archive, run_id=args.id)

@@ -6,6 +6,13 @@ given two runs' traces, compute the per-PE and aggregate deltas and render
 a side-by-side report.  The CLI exposes it as ``--compare OTHER_DIR`` and
 as ``actorprof diff RUN_A RUN_B``, where each run may be a paper-format
 trace directory or a ``.aptrc`` archive (:func:`diff_runs`).
+
+When *both* runs are archives, the comparison rides the columnar
+:class:`~repro.core.store.frame.Frame` layer: send matrices are
+scatter-summed straight from decoded columns and byte totals come from
+footer chunk sums where available, so no full trace objects (and no
+per-route Python dicts) are ever materialized.  Directory or mixed
+comparisons keep the materializing path.
 """
 
 from __future__ import annotations
@@ -19,7 +26,15 @@ from repro.core.analysis import imbalance_ratio
 from repro.core.logical import LogicalTrace, parse_logical_dir
 from repro.core.overall import OverallProfile, parse_overall_file
 from repro.core.physical import PhysicalTrace, parse_physical_file
-from repro.core.store.archive import RunTraces, is_archive, load_run
+from repro.core.store.archive import (
+    Archive,
+    RunTraces,
+    Section,
+    is_archive,
+    load_overall,
+    load_run,
+)
+from repro.core.store.frame import Frame, group_sum, scatter_matrix
 
 
 def _ratio(a: float, b: float) -> float:
@@ -40,7 +55,12 @@ class LogicalDiff:
 
     @classmethod
     def of(cls, a: LogicalTrace, b: LogicalTrace) -> "LogicalDiff":
-        ma, mb = a.matrix(), b.matrix()
+        return cls.from_matrices(a.matrix(), b.matrix())
+
+    @classmethod
+    def from_matrices(cls, ma: np.ndarray, mb: np.ndarray) -> "LogicalDiff":
+        """Diff two per-PE send-count matrices directly (the archive
+        path builds these from columns without a trace object)."""
         moved = int(np.abs(ma - mb).sum()) if ma.shape == mb.shape else -1
         return cls(
             total_sends_a=int(ma.sum()),
@@ -95,6 +115,35 @@ class PhysicalDiff:
             bytes_ratio=_ratio(int(a.bytes_matrix().sum()),
                                int(b.bytes_matrix().sum())),
         )
+
+    @classmethod
+    def from_sections(cls, a: Section, b: Section) -> "PhysicalDiff":
+        """Diff two archive physical sections without rebuilding traces."""
+        return cls(
+            ops_a=_ops_by_type(a),
+            ops_b=_ops_by_type(b),
+            bytes_ratio=_ratio(_wire_bytes(a), _wire_bytes(b)),
+        )
+
+
+def _ops_by_type(section: Section) -> dict[str, int]:
+    """Operation counts per send-type name, from kind/count columns."""
+    frame = Frame(section)
+    names = [str(s) for s in section.attrs.get("send_types", ())]
+    uniq, sums = group_sum(frame.column("kind"), frame.column("count"))
+    return {
+        (names[k] if 0 <= k < len(names) else str(k)): int(n)
+        for k, n in zip(uniq.tolist(), sums.tolist())
+    }
+
+
+def _wire_bytes(section: Section) -> int:
+    """Total ``count * size`` bytes; footer sums when available."""
+    frame = Frame(section)
+    total = frame.weighted_total()
+    if total is None:
+        total = int((frame.column("count") * frame.column("size")).sum())
+    return total
 
 
 def compare_report(
@@ -184,6 +233,52 @@ def load_traces(path: str | Path, n_pes: int | None = None) -> RunTraces:
     return out
 
 
+def _logical_matrix(section: Section, n_pes: int) -> np.ndarray:
+    """Per-PE send-count matrix straight from archive columns.
+
+    Streamed partial aggregates (duplicate src/dst keys across chunks)
+    merge by summing in the scatter-add, exactly as trace loading would.
+    """
+    frame = Frame(section)
+    return scatter_matrix(frame.column("src"), frame.column("dst"),
+                          frame.column("count"), (n_pes, n_pes))
+
+
+def diff_archives(
+    path_a: str | Path,
+    path_b: str | Path,
+    label_a: str | None = None,
+    label_b: str | None = None,
+) -> str:
+    """Compare two ``.aptrc`` archives column-wise (no trace objects).
+
+    Logical send matrices are scatter-summed from src/dst/count columns,
+    physical op counts and wire bytes come from the frame layer (footer
+    chunk sums when present), and only the small per-PE overall section
+    is materialized.  Output is identical to the trace-based path.
+    """
+    with Archive(path_a) as a, Archive(path_b) as b:
+        logical = overall = physical = None
+        if a.has_section("logical") and b.has_section("logical"):
+            logical = LogicalDiff.from_matrices(
+                _logical_matrix(a.section("logical"), a.n_pes),
+                _logical_matrix(b.section("logical"), b.n_pes),
+            )
+        if a.has_section("overall") and b.has_section("overall"):
+            overall = OverallDiff.of(load_overall(a), load_overall(b))
+        if a.has_section("physical") and b.has_section("physical"):
+            physical = PhysicalDiff.from_sections(
+                a.section("physical"), b.section("physical")
+            )
+        return compare_report(
+            label_a if label_a is not None else str(path_a),
+            label_b if label_b is not None else str(path_b),
+            logical=logical,
+            overall=overall,
+            physical=physical,
+        )
+
+
 def diff_runs(
     path_a: str | Path,
     path_b: str | Path,
@@ -194,8 +289,12 @@ def diff_runs(
     """Compare two stored runs and render the side-by-side report.
 
     Each path may be a trace directory or a ``.aptrc`` archive; only the
-    trace kinds present in *both* runs are compared.
+    trace kinds present in *both* runs are compared.  Two archives are
+    diffed column-wise via :func:`diff_archives`; directories (or a
+    mixed pair) go through full trace loading.
     """
+    if is_archive(path_a) and is_archive(path_b):
+        return diff_archives(path_a, path_b, label_a, label_b)
     a = load_traces(path_a, n_pes)
     b = load_traces(path_b, n_pes)
     logical = (LogicalDiff.of(a.logical, b.logical)

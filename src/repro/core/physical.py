@@ -27,10 +27,21 @@ from repro.conveyors.hooks import SEND_TYPES
 
 
 class PhysicalTrace:
-    """Recorder + container for the physical trace (a Conveyors TraceSink)."""
+    """Recorder + container for the physical trace (a Conveyors TraceSink).
 
-    def __init__(self, n_pes: int) -> None:
+    ``spec`` (a :class:`~repro.machine.spec.MachineSpec`) is optional but
+    enables node-level analysis — e.g. the ``src_node``/``dst_node``
+    query fields.  Traces built from bare ``n_pes`` keep working; node
+    queries on them raise a clear error instead.
+    """
+
+    def __init__(self, n_pes: int, spec=None) -> None:
         self.n_pes = n_pes
+        if spec is not None and spec.n_pes != n_pes:
+            raise ValueError(
+                f"spec has {spec.n_pes} PEs but trace was sized for {n_pes}"
+            )
+        self.spec = spec
         # (send_type, nbytes, src, dst) -> count
         self._counts: dict[tuple[str, int, int, int], int] = {}
 
@@ -103,6 +114,10 @@ class PhysicalTrace:
             "count": np.asarray([n for _, n in keys], dtype=np.int64),
         }
         attrs = {"n_pes": self.n_pes, "send_types": list(SEND_TYPES)}
+        if self.spec is not None:
+            attrs["nodes"] = self.spec.nodes
+            attrs["pes_per_node"] = self.spec.pes_per_node
+            attrs["machine_name"] = self.spec.name
         return columns, attrs
 
     @classmethod
@@ -113,7 +128,16 @@ class PhysicalTrace:
         """
         n_pes = int(attrs["n_pes"])
         send_types = [str(s) for s in attrs.get("send_types", SEND_TYPES)]
-        trace = cls(n_pes)
+        spec = None
+        if "pes_per_node" in attrs and "nodes" in attrs:
+            from repro.machine.spec import MachineSpec
+
+            spec = MachineSpec(
+                nodes=int(attrs["nodes"]),
+                pes_per_node=int(attrs["pes_per_node"]),
+                name=str(attrs.get("machine_name", "simulated-cluster")),
+            )
+        trace = cls(n_pes, spec=spec)
         for code, nb, src, dst, n in zip(
             columns["kind"].tolist(), columns["size"].tolist(),
             columns["src"].tolist(), columns["dst"].tolist(),
@@ -150,9 +174,17 @@ class PhysicalTrace:
         return path
 
 
-def parse_physical_file(path: str | Path, n_pes: int | None = None) -> PhysicalTrace:
-    """Parse a ``physical.txt`` back into a :class:`PhysicalTrace`."""
+def parse_physical_file(path: str | Path, n_pes: int | None = None,
+                        spec=None) -> PhysicalTrace:
+    """Parse a ``physical.txt`` back into a :class:`PhysicalTrace`.
+
+    The text format carries no node layout, so ``src_node``/``dst_node``
+    queries need ``spec`` (a :class:`~repro.machine.spec.MachineSpec`,
+    typically taken from the logical trace of the same run).
+    """
     path = Path(path)
+    if n_pes is None and spec is not None:
+        n_pes = spec.n_pes
     if path.is_dir():
         path = path / "physical.txt"
     rows: list[tuple[str, int, int, int]] = []
@@ -192,7 +224,7 @@ def parse_physical_file(path: str | Path, n_pes: int | None = None) -> PhysicalT
             max_pe = max(max_pe, src, dst)
     if n_pes is None:
         n_pes = max_pe + 1
-    trace = PhysicalTrace(n_pes)
+    trace = PhysicalTrace(n_pes, spec=spec)
     for kind, nbytes, src, dst in rows:
         trace.record(kind, nbytes, src, dst, 0)
     return trace

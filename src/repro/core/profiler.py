@@ -100,7 +100,7 @@ class ActorProf:
         if flags.enable_tcomm_profiling:
             self.overall = OverallProfile(spec.n_pes)
         if flags.enable_trace_physical:
-            self.physical = PhysicalTrace(spec.n_pes)
+            self.physical = PhysicalTrace(spec.n_pes, spec=spec)
         if flags.enable_timeline:
             self.timeline = TimelineTrace(
                 spec.n_pes, max_spans_per_pe=flags.timeline_max_spans

@@ -30,35 +30,52 @@ its column instead of silently re-interpreting the rest of the query.
 
 ``sends`` counts messages/operations, ``bytes`` sums payload/buffer
 bytes, ``ops`` is an alias of ``sends`` reading naturally for physical
-traces.  ``kind`` only exists on physical traces (``local_send`` etc.).
+traces.  ``kind`` only exists on physical traces and compares against
+send-type *names* (``kind == local_send``); comparing it against
+integers or other fields is rejected at parse time — the name-vs-code
+representation differs between in-memory traces and archives, so such
+comparisons could not mean the same thing on both.  ``top N`` only
+ranks ``group by`` output; without a ``group by`` it is meaningless and
+is normalized away, so ``sends top 5`` and ``sends`` share one
+canonical spelling (and one cache key).
+
 Evaluation works on the aggregated in-memory representation — no row
-expansion, so it is cheap even for billion-send traces.
+expansion, so it is cheap even for billion-send traces.  Node fields
+(``src_node``/``dst_node``) need the machine layout; traces that do not
+carry one (e.g. a bare ``PhysicalTrace(n_pes)``) raise a clear
+:class:`QueryError`.
 
 Queries also run directly against ``.aptrc`` archives without
 materializing a trace object: pass an archive
-:class:`~repro.core.store.archive.Section` and evaluation is vectorized
-over exactly the columns the query references — untouched columns (and
-sections) are never read from disk, which is the point of the columnar
-store::
+:class:`~repro.core.store.archive.Section` and evaluation rides the
+columnar :class:`~repro.core.store.frame.Frame` — untouched columns
+(and sections) are never read from disk, footer chunk stats prune row
+groups that cannot match the conditions, and un-predicated aggregates
+are answered from footer sums with zero payload decode::
 
     with Archive("run.aptrc") as a:
         run_query(a.section("logical"), "sends where src == 0 group by dst")
+
+Pass ``pushdown=False`` to force the full-decode path (identical
+results; used by the differential tests and benchmarks).
 """
 
 from __future__ import annotations
 
 import operator
 import re
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.logical import LogicalTrace
 from repro.core.physical import PhysicalTrace
 from repro.core.store.archive import Archive, Section
+from repro.core.store.frame import Frame, group_sum
 
 _METRICS = ("sends", "bytes", "ops")
 _FIELDS = ("src", "dst", "size", "kind", "src_node", "dst_node")
+_NODE_FIELDS = ("src_node", "dst_node")
 _OPS = {
     "==": operator.eq,
     "!=": operator.ne,
@@ -145,7 +162,7 @@ class Query:
         """Render the query back to its one canonical spelling.
 
         Every equivalent surface form — extra whitespace, metric/field
-        case —
+        case, a ``top`` with no ``group by`` —
         parses to the same :class:`Query` and therefore renders to the
         same string, which is what makes the text usable as a cache-key
         component (see :func:`normalize`).
@@ -213,7 +230,16 @@ def parse(text: str) -> Query:
                 value = FieldRef(raw.lower())  # field-to-field comparison
             else:
                 value = raw
-            if fld != "kind" and isinstance(value, str):
+            if fld == "kind" or (isinstance(value, FieldRef)
+                                 and value.name == "kind"):
+                # kind is a string in memory but a code on disk, so only
+                # name comparisons mean the same thing on both paths
+                if not isinstance(value, str):
+                    raise QueryError(
+                        "kind compares against send-type names "
+                        "(e.g. kind == local_send), not integers or fields"
+                    )
+            elif isinstance(value, str):
                 raise QueryError(f"field {fld!r} compares against integers "
                                  "or other fields")
             if fld == "kind" and op not in ("==", "!="):
@@ -243,6 +269,8 @@ def parse(text: str) -> Query:
             raise QueryError('"top" needs a positive integer')
     if peek() is not None:
         raise QueryError(f"unexpected trailing token {peek()!r}")
+    if group_by is None:
+        top = None  # `top` without `group by` ranks nothing; drop it
     return Query(metric, tuple(conditions), group_by, top)
 
 
@@ -251,11 +279,39 @@ def normalize(text: str) -> str:
 
     The serve layer's artifact store keys cached query results on
     ``(archive fingerprint, section, normalize(query))`` so cosmetic
-    variants — ``"sends  where src==0"`` vs ``"sends where src == 0"``
-    — hit the same entry.  Raises :class:`QueryError` for any query
-    that would not evaluate.
+    variants — ``"sends  where src==0"`` vs ``"sends where src == 0"``,
+    or a no-op ``top`` without ``group by`` — hit the same entry.
+    Raises :class:`QueryError` for any query that would not evaluate.
     """
     return parse(text).canonical()
+
+
+def _check_fields(q: Query, available: set[str]) -> None:
+    """Reject references to fields this trace cannot answer, up front.
+
+    Doing this before evaluation keeps empty traces, in-memory traces,
+    and archives consistent — a row-walk over zero rows would otherwise
+    accept any field name.
+    """
+    names = []
+    for c in q.conditions:
+        names.append(c.field)
+        if isinstance(c.value, FieldRef):
+            names.append(c.value.name)
+    if q.group_by is not None:
+        names.append(q.group_by)
+    for name in names:
+        if name in available:
+            continue
+        if name in _NODE_FIELDS:
+            raise QueryError(
+                f"field {name!r} needs node info (pes_per_node), "
+                "which this trace does not carry"
+            )
+        raise QueryError(
+            f"field {name!r} does not exist on this trace "
+            f"(have {sorted(available)})"
+        )
 
 
 def _logical_rows(trace: LogicalTrace):
@@ -272,16 +328,21 @@ def _logical_rows(trace: LogicalTrace):
 
 
 def _physical_rows(trace: PhysicalTrace):
+    spec = trace.spec
     for (kind, nbytes, src, dst), n in trace._counts.items():
-        yield {
+        row = {
             "src": src,
             "dst": dst,
             "size": nbytes,
             "kind": kind,
-        }, n, n * nbytes
+        }
+        if spec is not None:
+            row["src_node"] = spec.node_of(src)
+            row["dst_node"] = spec.node_of(dst)
+        yield row, n, n * nbytes
 
 
-def _archive_eval(section: Section, q: Query):
+def _archive_eval(section: Section, q: Query, pushdown: bool = True):
     """Vectorized evaluation over an archive section.
 
     Only the columns the query actually references are decoded: the
@@ -289,23 +350,48 @@ def _archive_eval(section: Section, q: Query):
     ``size`` additionally for the ``bytes`` metric, plus whatever the
     conditions and ``group by`` name.  Node fields are derived from
     ``src``/``dst`` and the section's ``pes_per_node`` attr.
+
+    With ``pushdown`` (the default) the footer's per-chunk stats do two
+    jobs first: row groups whose ``[min, max]`` intervals cannot satisfy
+    the condition conjunction are skipped without touching their bytes,
+    and un-predicated ungrouped aggregates are answered from the footer
+    sums with no payload decode at all.  Archives written without stats
+    take the full-decode path and return identical results.
     """
     send_types = [str(s) for s in section.attrs.get("send_types", ())]
     ppn = section.attrs.get("pes_per_node")
-    stored = set(section.columns) - {"count"}
-    available = set(stored)
+    available = set(section.columns) - {"count"}
     if ppn:
-        available |= {"src_node", "dst_node"}
+        available |= set(_NODE_FIELDS)
+    _check_fields(q, available)
+
+    def kind_code(name: str) -> int:
+        # unknown names match no row (so `kind != typo` matches
+        # everything, as in-memory)
+        return send_types.index(name) if name in send_types else -1
+
+    frame = Frame(section, use_stats=pushdown)
+    for cond in q.conditions:
+        rhs = cond.value
+        if isinstance(rhs, FieldRef):
+            continue  # field-to-field: no per-chunk interval to test
+        if cond.field in _NODE_FIELDS:
+            frame.prune(cond.field[:3], cond.op, int(rhs), divisor=int(ppn))
+        elif cond.field == "kind":
+            frame.prune("kind", cond.op, kind_code(rhs))
+        else:
+            frame.prune(cond.field, cond.op, int(rhs))
+
+    if not q.conditions and q.group_by is None:
+        total = (frame.weighted_total() if q.metric == "bytes"
+                 else frame.total("count"))
+        if total is not None:
+            return total  # answered from footer sums: zero bytes decoded
 
     def field_values(name: str) -> np.ndarray:
-        if name not in available:
-            raise QueryError(
-                f"field {name!r} does not exist on this trace "
-                f"(have {sorted(available)})"
-            )
-        if name in ("src_node", "dst_node"):
-            return section.column(name[:3]) // int(ppn)
-        return section.column(name)
+        if name in _NODE_FIELDS:
+            return frame.column(name[:3]) // int(ppn)
+        return frame.column(name)
 
     mask: np.ndarray | None = None
     for cond in q.conditions:
@@ -314,26 +400,19 @@ def _archive_eval(section: Section, q: Query):
         if isinstance(rhs, FieldRef):
             rhs = field_values(rhs.name)
         elif cond.field == "kind":
-            # compare against the send-type code; unknown names match
-            # no row (so `kind != typo` matches everything, as in-memory)
-            rhs = send_types.index(rhs) if rhs in send_types else -1
+            rhs = kind_code(rhs)
         hit = _OPS[cond.op](lhs, rhs)
         mask = hit if mask is None else (mask & hit)
 
-    weights = section.column("count")
+    weights = frame.column("count")
     if q.metric == "bytes":
-        weights = weights * section.column("size")
-    if mask is not None:
-        weights = weights[mask]
+        weights = weights * frame.column("size")
 
     if q.group_by is None:
+        if mask is not None:
+            weights = weights * mask  # zero non-matches; no gather copy
         return int(weights.sum())
-    keys = field_values(q.group_by)
-    if mask is not None:
-        keys = keys[mask]
-    uniq, inverse = np.unique(keys, return_inverse=True)
-    sums = np.zeros(len(uniq), dtype=np.int64)
-    np.add.at(sums, inverse, weights)
+    uniq, sums = group_sum(field_values(q.group_by), weights, mask=mask)
     if q.group_by == "kind":
         labels = [send_types[k] if 0 <= k < len(send_types) else int(k)
                   for k in uniq.tolist()]
@@ -344,27 +423,35 @@ def _archive_eval(section: Section, q: Query):
     return ranked[: q.top] if q.top is not None else ranked
 
 
-def run_query(trace: LogicalTrace | PhysicalTrace | Section, text: str):
+def run_query(trace: LogicalTrace | PhysicalTrace | Section, text: str,
+              *, pushdown: bool = True):
     """Evaluate ``text`` over a trace (or an archive section).
 
     Returns an int for plain aggregations, or a list of
     ``(group_value, amount)`` pairs sorted by amount (descending) for
-    ``group by`` queries.
+    ``group by`` queries.  ``pushdown`` (archive sections only) enables
+    chunk-stat pruning and footer-sum fast paths; disabling it forces
+    full column decoding — results are identical.
     """
     q = parse(text)
     if isinstance(trace, Section):
-        return _archive_eval(trace, q)
+        return _archive_eval(trace, q, pushdown=pushdown)
     if isinstance(trace, Archive):
         raise QueryError(
             "pass a section, e.g. archive.section('logical') or "
             "archive.section('physical')"
         )
     if isinstance(trace, LogicalTrace):
+        available = {"src", "dst", "size", "src_node", "dst_node"}
         rows = _logical_rows(trace)
     elif isinstance(trace, PhysicalTrace):
+        available = {"src", "dst", "size", "kind"}
+        if trace.spec is not None:
+            available |= set(_NODE_FIELDS)
         rows = _physical_rows(trace)
     else:
         raise QueryError(f"cannot query a {type(trace).__name__}")
+    _check_fields(q, available)
     groups: dict = {}
     total = 0
     for row, count, nbytes in rows:
@@ -374,10 +461,6 @@ def run_query(trace: LogicalTrace | PhysicalTrace | Section, text: str):
         if q.group_by is None:
             total += amount
         else:
-            if q.group_by not in row:
-                raise QueryError(
-                    f"cannot group by {q.group_by!r} on this trace"
-                )
             key = row[q.group_by]
             groups[key] = groups.get(key, 0) + amount
     if q.group_by is None:

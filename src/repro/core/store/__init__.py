@@ -12,6 +12,8 @@ paper's Section VI flags.  This package provides the compact alternative:
   reads,
 * :mod:`~repro.core.store.writer` — streaming :class:`ArchiveWriter` and
   the :class:`TraceArchiver` profiler decorator that spills incrementally,
+* :mod:`~repro.core.store.frame` — :class:`Frame`, the pruned columnar
+  view that turns footer chunk stats into query pushdown,
 * :mod:`~repro.core.store.registry` — the on-disk :class:`RunRegistry`
   behind ``actorprof runs list / show / rm``.
 """
@@ -27,12 +29,14 @@ from repro.core.store.archive import (
     load_run,
 )
 from repro.core.store.codec import decode_column, encode_column
+from repro.core.store.frame import Frame
 from repro.core.store.registry import RunInfo, RunRegistry
 from repro.core.store.writer import ArchiveWriter, TraceArchiver, export_run
 
 __all__ = [
     "Archive",
     "ArchiveWriter",
+    "Frame",
     "RunInfo",
     "RunRegistry",
     "RunTraces",

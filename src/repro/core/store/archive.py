@@ -68,12 +68,19 @@ class ArchiveError(ValueError):
 
 @dataclass(frozen=True)
 class ChunkRef:
-    """Location of one encoded chunk of one column."""
+    """Location of one encoded chunk of one column.
+
+    ``stats`` is the optional ``(min, max, sum)`` of the chunk's decoded
+    values, recorded by writers since the chunk-stats footer extension;
+    archives written before it carry ``None`` and readers fall back to
+    full decoding.
+    """
 
     offset: int
     length: int
     encoding: str
     count: int
+    stats: tuple[int, int, int] | None = None
 
 
 class Section:
@@ -85,31 +92,73 @@ class Section:
         self.attrs: dict = index.get("attrs", {})
         self.rows: int = int(index.get("rows", 0))
         self._chunks: dict[str, list[ChunkRef]] = {
-            col: [ChunkRef(int(c[0]), int(c[1]), str(c[2]), int(c[3]))
+            col: [ChunkRef(int(c[0]), int(c[1]), str(c[2]), int(c[3]),
+                           tuple(int(s) for s in c[4]) if len(c) > 4 else None)
                   for c in chunks]
             for col, chunks in index.get("columns", {}).items()
         }
+        raw_bytes = index.get("chunk_bytes")
+        #: Per row-group ``sum(count * size)``, when the writer stored it.
+        self.chunk_bytes: list[int] | None = (
+            [int(w) for w in raw_bytes] if raw_bytes is not None else None
+        )
         self._cache: dict[str, np.ndarray] = {}
+        self._chunk_cache: dict[tuple[str, int], np.ndarray] = {}
 
     @property
     def columns(self) -> tuple[str, ...]:
         """Names of the columns stored in this section."""
         return tuple(self._chunks)
 
-    def column(self, name: str) -> np.ndarray:
-        """Read + decode one column (cached); int64 array of ``rows``."""
-        cached = self._cache.get(name)
-        if cached is not None:
-            return cached
+    @property
+    def chunks_aligned(self) -> bool:
+        """True when every column has the same per-chunk row counts.
+
+        Writers always produce aligned chunks (one row group spans all
+        columns); alignment is what makes chunk-level pruning sound.
+        """
+        counts = None
+        for refs in self._chunks.values():
+            these = [ref.count for ref in refs]
+            if counts is None:
+                counts = these
+            elif these != counts:
+                return False
+        return True
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of row groups (0 for an empty section)."""
+        for refs in self._chunks.values():
+            return len(refs)
+        return 0
+
+    def chunk_refs(self, name: str) -> tuple[ChunkRef, ...]:
+        """The chunk index entries of one column."""
         if name not in self._chunks:
             raise ArchiveError(
                 f"section {self.name!r} has no column {name!r} "
                 f"(have {sorted(self._chunks)})"
             )
-        parts = [
-            self._archive._decode_chunk(self.name, name, ref)
-            for ref in self._chunks[name]
-        ]
+        return tuple(self._chunks[name])
+
+    def read_chunk(self, name: str, i: int) -> np.ndarray:
+        """Read + decode one chunk of one column (cached)."""
+        cached = self._chunk_cache.get((name, i))
+        if cached is not None:
+            return cached
+        ref = self.chunk_refs(name)[i]
+        out = self._archive._decode_chunk(self.name, name, ref)
+        self._chunk_cache[(name, i)] = out
+        return out
+
+    def column(self, name: str) -> np.ndarray:
+        """Read + decode one column (cached); int64 array of ``rows``."""
+        cached = self._cache.get(name)
+        if cached is not None:
+            return cached
+        refs = self.chunk_refs(name)
+        parts = [self.read_chunk(name, i) for i in range(len(refs))]
         if parts:
             out = parts[0] if len(parts) == 1 else np.concatenate(parts)
         else:

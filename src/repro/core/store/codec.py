@@ -11,6 +11,11 @@ classic columnar recipe applies:
 3. **varint**: LEB128 — 7 value bits per byte, high bit = continuation,
 4. **zlib** (optional): only kept when it actually shrinks the payload.
 
+The varint encode/decode hot paths are numpy-vectorized (masked passes
+over ``frombuffer`` byte arrays); the original per-byte Python loops are
+kept as ``encode_uvarints_scalar``/``decode_uvarints_scalar`` reference
+oracles for the property tests, and produce byte-identical streams.
+
 The encoding actually applied is returned as a ``+``-joined token string
 (e.g. ``"delta+varint+zlib"``) and stored in the archive footer, so the
 decoder never guesses.  All values must fit in a signed 64-bit integer,
@@ -54,8 +59,8 @@ def unzigzag(values: np.ndarray) -> np.ndarray:
 # varint (LEB128, unsigned)
 # ----------------------------------------------------------------------
 
-def encode_uvarints(values: np.ndarray) -> bytes:
-    """Encode an array of unsigned ints as concatenated LEB128 varints."""
+def encode_uvarints_scalar(values: np.ndarray) -> bytes:
+    """Per-value reference encoder (the oracle for the vectorized path)."""
     out = bytearray()
     append = out.append
     for v in values.tolist():
@@ -66,8 +71,8 @@ def encode_uvarints(values: np.ndarray) -> bytes:
     return bytes(out)
 
 
-def decode_uvarints(data: bytes, count: int) -> np.ndarray:
-    """Decode ``count`` LEB128 varints from ``data`` (uint64 array)."""
+def decode_uvarints_scalar(data: bytes, count: int) -> np.ndarray:
+    """Per-byte reference decoder (the oracle for the vectorized path)."""
     out = np.empty(count, dtype=np.uint64)
     pos = 0
     end = len(data)
@@ -95,6 +100,100 @@ def decode_uvarints(data: bytes, count: int) -> np.ndarray:
             f"varint stream has {end - pos} trailing bytes after "
             f"{count} values"
         )
+    return out
+
+
+#: Value thresholds where a LEB128 varint grows by one byte: a value
+#: ``v`` takes ``1 + sum(v >= t for t in thresholds)`` bytes (max 10).
+_WIDTH_THRESHOLDS = tuple(np.uint64(1) << np.uint64(7 * k)
+                          for k in range(1, 10))
+
+
+def encode_uvarints(values: np.ndarray) -> bytes:
+    """Encode an array of unsigned ints as concatenated LEB128 varints.
+
+    Vectorized: byte widths come from threshold comparisons, then one
+    masked pass per byte position (≤ 10) scatters payload bytes with the
+    continuation bit.  Output is byte-identical to
+    :func:`encode_uvarints_scalar`.
+    """
+    v = np.ascontiguousarray(values, dtype=np.uint64)
+    n = len(v)
+    if n == 0:
+        return b""
+    widths = np.ones(n, dtype=np.int64)
+    for t in _WIDTH_THRESHOLDS:
+        widths += v >= t
+    starts = np.cumsum(widths) - widths
+    out = np.empty(int(starts[-1]) + int(widths[-1]), dtype=np.uint8)
+    for j in range(int(widths.max())):
+        live = widths > j
+        payload = ((v[live] >> np.uint64(7 * j)) & np.uint64(0x7F))
+        byte = payload.astype(np.uint8)
+        byte[widths[live] > j + 1] |= 0x80  # continuation bit
+        out[starts[live] + j] = byte
+    return out.tobytes()
+
+
+def decode_uvarints(data: bytes, count: int) -> np.ndarray:
+    """Decode ``count`` LEB128 varints from ``data`` (uint64 array).
+
+    Vectorized: value boundaries are the bytes with the continuation bit
+    clear; payloads are gathered with one masked pass per byte position
+    (≤ 10), so cost scales with the widest value actually present —
+    delta+zigzag trace columns are overwhelmingly 1–2 bytes wide, and a
+    pure single-byte stream short-circuits to one cast.  Accepts and
+    rejects exactly the streams :func:`decode_uvarints_scalar` does.
+    """
+    b = np.frombuffer(data, dtype=np.uint8)
+    if count == 0:
+        if len(b):
+            raise CodecError(
+                f"varint stream has {len(b)} trailing bytes after 0 values"
+            )
+        return np.empty(0, dtype=np.uint64)
+    is_end = (b & 0x80) == 0
+    if len(b) == count and is_end.all():
+        return b.astype(np.uint64)  # pure single-byte stream
+    all_ends = np.flatnonzero(is_end)
+    m = min(count, len(all_ends))
+    ends = all_ends[:m]
+    starts = np.empty(m, dtype=np.int64)
+    if m:
+        starts[0] = 0
+        starts[1:] = ends[:-1] + 1
+    lengths = ends - starts + 1
+    payload = (b & 0x7F).astype(np.uint64)
+    # Errors must surface in stream order, like the scalar decoder's
+    # sequential scan: an overflowing value earlier in the stream wins
+    # over truncation or trailing bytes discovered later.  > 10 bytes
+    # shifts past bit 63; a 10-byte varint only has room for one payload
+    # bit in its last byte.
+    bad = (lengths > 10) | ((lengths == 10) & (payload[ends] > 1))
+    if bad.any():
+        raise CodecError(
+            f"varint at value {int(np.flatnonzero(bad)[0])} overflows 64 bits"
+        )
+    if len(all_ends) < count:
+        tail_start = int(all_ends[-1]) + 1 if len(all_ends) else 0
+        if len(b) - tail_start >= 10:
+            # ten continuation bytes overflow before the stream runs out
+            raise CodecError(
+                f"varint at value {len(all_ends)} overflows 64 bits"
+            )
+        raise CodecError(
+            f"varint stream truncated at value {len(all_ends)} of {count}"
+        )
+    trailing = len(b) - int(all_ends[count - 1]) - 1
+    if trailing:
+        raise CodecError(
+            f"varint stream has {trailing} trailing bytes after "
+            f"{count} values"
+        )
+    out = payload[starts]
+    for j in range(1, int(lengths.max())):
+        live = np.flatnonzero(lengths > j)
+        out[live] |= payload[starts[live] + j] << np.uint64(7 * j)
     return out
 
 

@@ -36,6 +36,12 @@ from repro.core.store.archive import (
 )
 from repro.core.store.codec import encode_column
 
+#: Process-wide default for recording per-chunk stats (min/max/sum and
+#: the count×size weighted sums) in the footer.  The stats feed query
+#: pushdown (`docs/TRACE_STORE.md`); flip off to write archives in the
+#: pre-stats footer layout (byte-identical to older writers).
+WRITE_CHUNK_STATS = True
+
 
 class SectionWriter:
     """Open section of an :class:`ArchiveWriter`; accepts chunks."""
@@ -48,6 +54,7 @@ class SectionWriter:
         self.attrs = dict(attrs or {})
         self.rows = 0
         self._chunks: dict[str, list[list]] = {c: [] for c in columns}
+        self._chunk_bytes: list[int] = []
         self._closed = False
 
     def write_chunk(self, columns: dict) -> int:
@@ -74,10 +81,20 @@ class SectionWriter:
         n = counts.pop()
         if n == 0:
             return 0
+        stats = self._writer.stats
         for name in self.columns:
-            payload, encoding = encode_column(arrays[name])
+            arr = arrays[name]
+            payload, encoding = encode_column(arr)
             offset = self._writer._append(payload)
-            self._chunks[name].append([offset, len(payload), encoding, n])
+            entry = [offset, len(payload), encoding, n]
+            if stats:
+                # int64 accumulation, matching the query layer's sums
+                entry.append([int(arr.min()), int(arr.max()),
+                              int(arr.sum(dtype=np.int64))])
+            self._chunks[name].append(entry)
+        if stats and "count" in arrays and "size" in arrays:
+            weighted = arrays["count"] * arrays["size"]
+            self._chunk_bytes.append(int(weighted.sum(dtype=np.int64)))
         self.rows += n
         return n
 
@@ -91,19 +108,30 @@ class SectionWriter:
         self._writer._finish_section(self)
 
     def _index(self) -> dict:
-        return {
+        index = {
             "attrs": self.attrs,
             "rows": self.rows,
             "columns": self._chunks,
         }
+        if self._chunk_bytes:
+            index["chunk_bytes"] = self._chunk_bytes
+        return index
 
 
 class ArchiveWriter:
-    """Streaming writer for a ``.aptrc`` file (append-only + footer)."""
+    """Streaming writer for a ``.aptrc`` file (append-only + footer).
 
-    def __init__(self, path: str | Path, meta: dict | None = None) -> None:
+    ``stats`` controls whether per-chunk min/max/sum statistics are
+    recorded in the footer index (``None`` → module default
+    :data:`WRITE_CHUNK_STATS`).  Stats only extend the footer JSON; the
+    chunk payload bytes are identical either way.
+    """
+
+    def __init__(self, path: str | Path, meta: dict | None = None,
+                 stats: bool | None = None) -> None:
         self.path = Path(path)
         self.meta = dict(meta or {})
+        self.stats = WRITE_CHUNK_STATS if stats is None else bool(stats)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._file = self.path.open("wb")
         self._file.write(MAGIC)
@@ -215,17 +243,19 @@ def export_run(
     papi=None,
     overall=None,
     meta: dict | None = None,
+    stats: bool | None = None,
 ) -> Path:
     """Write the given traces into a single ``.aptrc`` archive.
 
     Any subset of the four trace kinds may be supplied; ``meta`` entries
-    override the machine metadata inferred from the traces.
+    override the machine metadata inferred from the traces.  ``stats``
+    is forwarded to :class:`ArchiveWriter`.
     """
     if logical is None and physical is None and papi is None and overall is None:
         raise ArchiveError("export_run needs at least one trace")
     full_meta = _base_meta(logical, physical, papi, overall)
     full_meta.update(meta or {})
-    with ArchiveWriter(path, meta=full_meta) as writer:
+    with ArchiveWriter(path, meta=full_meta, stats=stats) as writer:
         for name, trace in (("logical", logical), ("physical", physical),
                             ("papi", papi), ("overall", overall)):
             if trace is not None:
@@ -301,7 +331,13 @@ class TraceArchiver:
         )
         self._phys_section = self._writer.begin_section(
             "physical", self.PHYSICAL_COLUMNS,
-            attrs={"n_pes": world.spec.n_pes, "send_types": list(SEND_TYPES)},
+            attrs={
+                "n_pes": world.spec.n_pes,
+                "send_types": list(SEND_TYPES),
+                "nodes": world.spec.nodes,
+                "pes_per_node": world.spec.pes_per_node,
+                "machine_name": world.spec.name,
+            },
         )
         return self, self
 

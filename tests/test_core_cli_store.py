@@ -133,6 +133,7 @@ def test_runs_add_list_show_rm(archive, tmp_path, capsys):
     out = capsys.readouterr().out
     assert "run:     demo" in out
     assert "section logical" in out and "section overall" in out
+    assert "chunk stats (query pushdown enabled)" in out
 
     assert main(["runs", "rm", "demo", "--registry", reg]) == 0
     assert main(["runs", "list", "--registry", reg]) == 0

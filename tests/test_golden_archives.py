@@ -6,6 +6,13 @@ rebuild each archive from scratch and assert *byte identity* — any drift
 in the RNG streams, the scheduler, the conveyor batching, the profiler,
 or the archive codec shows up here first.
 
+The ``*-nostats.aptrc`` twins are the same archives written with the
+chunk-stats footer extension disabled (the pre-extension footer layout).
+They pin two guarantees: writers with stats off still emit those exact
+bytes (stats only extend the footer JSON — payload encoding is
+untouched), and stat-less archives keep loading and answering queries
+identically to new-format ones via the full-decode fallback.
+
 Regenerate (only after an intentional format/behaviour change) with::
 
     PYTHONPATH=src python tests/test_golden_archives.py
@@ -64,8 +71,64 @@ def test_golden_archives_load(name):
     assert run.meta["seed"] == 0
 
 
+@pytest.mark.parametrize("name", sorted(GOLDEN_WORKLOADS))
+def test_stats_disabled_rebuild_matches_prestats_golden(
+        name, tmp_path, monkeypatch):
+    """With stats off, the writer emits the pre-extension bytes exactly."""
+    from repro.core.store import writer
+
+    monkeypatch.setattr(writer, "WRITE_CHUNK_STATS", False)
+    rebuilt = _build(name, tmp_path / f"{name}.aptrc")
+    golden = GOLDEN_DIR / f"{name}-nostats.aptrc"
+    assert rebuilt.read_bytes() == golden.read_bytes(), (
+        f"stats-disabled rebuild of {name} differs from the pre-stats "
+        f"golden — the chunk payload encoding or base footer layout "
+        f"drifted, which breaks old-format compatibility"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_WORKLOADS))
+def test_prestats_golden_queries_match_new_format(name):
+    """Stat-less archives answer queries identically to new-format ones
+    (via the full-decode fallback — there are no footer stats to use)."""
+    from repro.core.query import run_query
+    from repro.core.store.archive import Archive
+
+    queries = ["sends", "bytes", "sends where src == 0",
+               "sends where src_node != dst_node", "sends group by dst top 3"]
+    with Archive(GOLDEN_DIR / f"{name}.aptrc") as new, \
+            Archive(GOLDEN_DIR / f"{name}-nostats.aptrc") as old:
+        for section in old.section("logical"), new.section("logical"):
+            assert all(ref.stats is not None
+                       for ref in section.chunk_refs("count")) \
+                == (section is new.section("logical"))
+        for query in queries:
+            assert run_query(old.section("logical"), query) \
+                == run_query(new.section("logical"), query)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_WORKLOADS))
+def test_prestats_golden_diffs_match_new_format(name):
+    """Column-wise archive diffing treats both footer layouts the same."""
+    from repro.core.diffing import diff_archives
+
+    new = GOLDEN_DIR / f"{name}.aptrc"
+    old = GOLDEN_DIR / f"{name}-nostats.aptrc"
+    report_new = diff_archives(new, new, "a", "b")
+    report_old = diff_archives(old, old, "a", "b")
+    assert report_new == report_old
+
+
 if __name__ == "__main__":  # golden regeneration entry point
+    from repro.core.store import writer
+
     GOLDEN_DIR.mkdir(exist_ok=True)
     for name in sorted(GOLDEN_WORKLOADS):
         path = _build(name, GOLDEN_DIR / f"{name}.aptrc")
+        print(f"regenerated {path} ({path.stat().st_size:,} bytes)")
+        writer.WRITE_CHUNK_STATS = False
+        try:
+            path = _build(name, GOLDEN_DIR / f"{name}-nostats.aptrc")
+        finally:
+            writer.WRITE_CHUNK_STATS = True
         print(f"regenerated {path} ({path.stat().st_size:,} bytes)")

@@ -22,7 +22,15 @@ def test_normalize_collapses_cosmetic_variants():
 def test_normalize_keeps_semantic_differences_apart():
     assert normalize("sends where src == 0") != normalize("sends where dst == 0")
     assert normalize("sends") != normalize("bytes")
-    assert normalize("sends top 5") != normalize("sends top 6")
+    assert normalize("sends group by dst top 5") \
+        != normalize("sends group by dst top 6")
+
+
+def test_normalize_drops_top_without_group_by():
+    # `top` ranks group-by output; without one it changes nothing, so it
+    # must not fragment the artifact store's cache keys either
+    assert normalize("sends top 5") == normalize("sends")
+    assert normalize("sends top 5") == normalize("sends top 6")
 
 
 def test_canonical_renders_every_clause():
