@@ -32,6 +32,7 @@ from repro.core.flags import ProfileFlags
 from repro.core.profiler import ActorProf
 from repro.hclib.actor import Selector
 from repro.hclib.world import RunResult, run_spmd
+from repro.machine.cost import CostModel
 from repro.machine.spec import MachineSpec
 from repro.sim.rng import substream_rng
 
@@ -140,19 +141,26 @@ class Workload:
         return replace(self.base_config, buffer_items=schedule.buffer_items)
 
     def execute(self, schedule: PerturbedSchedule, profiler: ActorProf,
-                config: ConveyorConfig) -> tuple[Any, RunResult,
-                                                 np.ndarray | None,
-                                                 list[int] | None]:
+                config: ConveyorConfig,
+                cost: CostModel | None = None) -> tuple[Any, RunResult,
+                                                        np.ndarray | None,
+                                                        list[int] | None]:
         """Run once; return (result-data, run, receipts, received_per_pe)."""
         raise NotImplementedError
 
-    def run(self, schedule: PerturbedSchedule,
-            archive_path: Path) -> RunArtifacts:
-        """Execute under ``schedule``, archive the traces, fingerprint."""
-        profiler = ActorProf(ProfileFlags.all())
+    def run(self, schedule: PerturbedSchedule, archive_path: Path, *,
+            profiler: ActorProf | None = None,
+            cost: CostModel | None = None) -> RunArtifacts:
+        """Execute under ``schedule``, archive the traces, fingerprint.
+
+        ``profiler`` and ``cost`` default to a fresh full-flags
+        :class:`ActorProf` and the stock :class:`CostModel`; the what-if
+        engine passes perturbed replacements for both.
+        """
+        profiler = profiler or ActorProf(ProfileFlags.all())
         config = self._config_for(schedule)
         result_data, run, receipts, received = self.execute(
-            schedule, profiler, config
+            schedule, profiler, config, cost
         )
         path = profiler.export_archive(archive_path, meta={
             "workload": self.name,
@@ -192,13 +200,13 @@ class HistogramWorkload(Workload):
         return {"kind": "histogram", "updates": self.updates,
                 "table_size": self.table_size, **self._base_descriptor()}
 
-    def execute(self, schedule, profiler, config):
+    def execute(self, schedule, profiler, config, cost=None):
         from repro.apps.histogram import histogram
 
         res = histogram(
             self.updates, self.table_size, machine=self.machine,
-            profiler=profiler, conveyor_config=config, seed=self.seed,
-            schedule_policy=schedule.policy(),
+            profiler=profiler, conveyor_config=config, cost=cost,
+            seed=self.seed, schedule_policy=schedule.policy(),
         )
         data = {
             "total": res.total_updates,
@@ -225,14 +233,14 @@ class TriangleWorkload(Workload):
                 "distribution": self.distribution,
                 **self._base_descriptor()}
 
-    def execute(self, schedule, profiler, config):
+    def execute(self, schedule, profiler, config, cost=None):
         from repro.apps.triangle import count_triangles
         from repro.experiments.casestudy import case_study_graph
 
         graph = case_study_graph(self.scale, seed=self.seed)
         res = count_triangles(
             graph, self.machine, self.distribution, profiler=profiler,
-            conveyor_config=config, seed=self.seed,
+            conveyor_config=config, cost=cost, seed=self.seed,
             schedule_policy=schedule.policy(),
         )
         data = {
@@ -334,7 +342,7 @@ class GeneratedWorkload(Workload):
         return {"kind": "generated", "spec": spec, "name": self.name,
                 **self._base_descriptor()}
 
-    def execute(self, schedule, profiler, config):
+    def execute(self, schedule, profiler, config, cost=None):
         spec = self.spec
         n_pes = self.machine.n_pes
         receipts = np.zeros((n_pes, n_pes), dtype=np.int64)
@@ -386,7 +394,7 @@ class GeneratedWorkload(Workload):
             total = ctx.shmem.allreduce(int(acc[me]), "sum")
             return {"local": int(acc[me]), "total": total}
 
-        run = run_spmd(program, machine=self.machine,
+        run = run_spmd(program, machine=self.machine, cost=cost,
                        conveyor_config=config, profiler=profiler,
                        seed=self.seed, schedule_policy=schedule.policy())
         data = {

@@ -152,6 +152,10 @@ class Conveyor:
         self.done_requested = False
         self.stats = ConveyorStats()
         self._hop_map: np.ndarray | None = None
+        # What-if DAG seam: tracers that also want (issue, arrival) pairs
+        # per wire transfer expose ``record_transfer``; plain TraceSinks
+        # don't, and pay nothing.
+        self._transfer_sink = getattr(group.tracer, "record_transfer", None)
 
     # ------------------------------------------------------------------
     # push side
@@ -446,6 +450,10 @@ class Conveyor:
         # Exactly one trace record / stats entry per successful wire
         # transfer: retries and duplicates are accounted separately.
         self.group.tracer.record(kind, nbytes, self.me, hop, self.perf.clock.now)
+        if self._transfer_sink is not None:
+            self._transfer_sink(
+                kind, nbytes, self.me, hop, self.perf.clock.now, arrival
+            )
         self.stats.note_send(kind, nbytes)
         endpoint = self.group.endpoints[hop]
         endpoint.inbound.append(

@@ -142,6 +142,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_main(argv[1:])
     if argv and argv[0] == "check":
         return _check_main(argv[1:])
+    if argv and argv[0] == "whatif":
+        return _whatif_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
     if argv and argv[0] == "push":
@@ -984,6 +986,158 @@ def _check_main(argv: list[str]) -> int:
         args.report.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote verdict report → {args.report}")
     return exit_code
+
+
+# ----------------------------------------------------------------------
+# `actorprof whatif` — causal critical-path + virtual-speedup profiler
+# ----------------------------------------------------------------------
+
+def _whatif_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="actorprof whatif",
+        description="causal what-if profiling: reconstruct the "
+                    "happens-before DAG of one profiled run, rank the "
+                    "critical path (work, span, per-region parallelism, "
+                    "hottest handlers and transfer edges), predict virtual "
+                    "speedups by re-weighting the DAG, and optionally "
+                    "*replay* the workload under perturbed cost models "
+                    "(--scale / --sweep) to measure them for real. "
+                    "Scale factors multiply the target's COST: "
+                    "proc=0.5x means PROC work runs twice as fast. "
+                    "Exit 0 = ok, 2 = bad arguments, 6 = a replay failed.",
+    )
+    parser.add_argument("workload", choices=("histogram", "triangle",
+                                             "generated"),
+                        help="which workload to analyze")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload seed (default 0)")
+    parser.add_argument("--nodes", type=int, default=2,
+                        help="simulated nodes (default 2)")
+    parser.add_argument("--pes-per-node", type=int, default=2,
+                        help="PEs per node (default 2)")
+    parser.add_argument("--updates", type=int, default=400,
+                        help="histogram: updates per PE (default 400)")
+    parser.add_argument("--table-size", type=int, default=64,
+                        help="histogram: table slots per PE (default 64)")
+    parser.add_argument("--scale-rmat", type=int, default=6, metavar="S",
+                        help="triangle: R-MAT scale (default 6)")
+    parser.add_argument("--distribution", default="cyclic",
+                        choices=("cyclic", "range", "block"),
+                        help="triangle: row distribution (default cyclic)")
+    parser.add_argument("--program", type=int, default=0, metavar="N",
+                        help="generated: which generated program (default 0)")
+    parser.add_argument("--scale", action="append", default=[],
+                        metavar="TARGET=FACTOR",
+                        help="replay one point with this cost scale; repeat "
+                             "to compose scales into the same point (e.g. "
+                             "--scale mailbox:0=2x --scale net.latency=0.5)")
+    parser.add_argument("--sweep", action="append", default=[],
+                        metavar="TARGET=F1,F2,...",
+                        help="replay the cartesian product of these factor "
+                             "axes (repeatable)")
+    parser.add_argument("--candidate-factor", type=float, default=0.5,
+                        metavar="F",
+                        help="factor used for the ranked single-target "
+                             "predictions (default 0.5 = a 2x speedup)")
+    parser.add_argument("--fault-plan", type=Path, default=None,
+                        metavar="PLAN.json",
+                        help="analyze under a non-fatal fault plan "
+                             "(crashing plans are rejected)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan replay points across N worker processes "
+                             "(default 1: in-process); the report is "
+                             "byte-identical either way")
+    parser.add_argument("--cache", type=Path, default=None, metavar="DIR",
+                        help="result cache directory for replay points "
+                             "(keys include the scale factors)")
+    parser.add_argument("--report", type=Path, default=None, metavar="PATH",
+                        help="write the machine-readable JSON report to PATH")
+    parser.add_argument("--keep-archives", type=Path, default=None,
+                        metavar="DIR",
+                        help="keep the baseline and per-point .aptrc "
+                             "archives in DIR (default: temporary)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the text report on stdout")
+    return parser
+
+
+def _whatif_main(argv: list[str]) -> int:
+    import json
+
+    from repro.check import (
+        GeneratedWorkload,
+        HistogramWorkload,
+        TriangleWorkload,
+        generate_spec,
+    )
+    from repro.core.report import whatif_report
+    from repro.machine.spec import MachineSpec
+    from repro.whatif import Scales, parse_sweep, run_whatif
+
+    args = _whatif_parser().parse_args(argv)
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1: {args.jobs}", file=sys.stderr)
+        return 2
+    try:
+        scale_sets = []
+        if args.scale:
+            scale_sets.append(Scales.from_args(args.scale))
+        sweeps = [parse_sweep(item) for item in args.sweep]
+        if not (args.candidate_factor > 0
+                and args.candidate_factor != float("inf")):
+            raise ValueError(
+                f"--candidate-factor must be a positive finite number: "
+                f"{args.candidate_factor}"
+            )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    fault_plan = None
+    if args.fault_plan is not None:
+        from repro.sim.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.load(args.fault_plan)
+        except (ValueError, OSError) as exc:
+            print(f"bad fault plan: {exc}", file=sys.stderr)
+            return 2
+    spec = MachineSpec(args.nodes, args.pes_per_node)
+    if args.workload == "histogram":
+        workload = HistogramWorkload(
+            updates=args.updates, table_size=args.table_size,
+            machine=spec, seed=args.seed,
+        )
+    elif args.workload == "triangle":
+        workload = TriangleWorkload(
+            scale=args.scale_rmat, distribution=args.distribution,
+            machine=spec, seed=args.seed,
+        )
+    else:
+        workload = GeneratedWorkload(
+            generate_spec(args.seed, args.program), machine=spec,
+            seed=args.seed, name=f"generated-{args.program}",
+        )
+    try:
+        report = run_whatif(
+            workload,
+            scale_sets=scale_sets,
+            sweeps=sweeps,
+            jobs=args.jobs,
+            cache=args.cache,
+            out_dir=args.keep_archives,
+            fault_plan=fault_plan,
+            candidate_factor=args.candidate_factor,
+        )
+    except ValueError as exc:
+        print(f"whatif failed: {exc}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        print(whatif_report(report))
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote what-if report → {args.report}")
+    return report["exit_code"]
 
 
 # ----------------------------------------------------------------------

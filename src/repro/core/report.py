@@ -93,6 +93,74 @@ def overall_report(profile: OverallProfile, title: str = "Overall profiling") ->
     return "\n".join(lines)
 
 
+def whatif_report(report: dict, title: str = "What-if analysis") -> str:
+    """Text rendering of a :func:`repro.whatif.run_whatif` report dict."""
+    analysis = report["analysis"]
+    baseline = report["baseline"]
+    cp = analysis["critical_path"]
+    lines = [
+        f"== {title}: {report['workload_name']} ==",
+        f"T_TOTAL {baseline['t_total']:,}  work {analysis['work']:,}  "
+        f"span {analysis['span']:,}  "
+        f"avg parallelism {analysis['avg_parallelism']:.2f}"
+        + ("" if analysis["prediction_exact"] else "  (span approximate)"),
+        "",
+        "critical path by category:",
+    ]
+    vmax = max((r["cycles"] for r in cp["by_category"]), default=1) or 1
+    for row in cp["by_category"]:
+        lines.append(
+            f"  {row['target']:<12} {row['cycles']:>12,} "
+            f"({row['share_pct']:5.1f}%)  {ascii_bar(row['cycles'], vmax, 24)}"
+        )
+    if cp["by_mailbox"]:
+        lines.append("critical-path PROC cycles by mailbox:")
+        for row in cp["by_mailbox"]:
+            lines.append(
+                f"  mailbox:{row['mailbox']:<4} {row['cycles']:>12,}"
+            )
+    if cp["by_pe"]:
+        lines.append("critical-path busy cycles by PE:")
+        for row in cp["by_pe"]:
+            lines.append(f"  pe:{row['pe']:<9} {row['cycles']:>12,}")
+    if cp["top_edges"]:
+        lines.append("hottest critical-path transfer edges:")
+        for row in cp["top_edges"]:
+            lines.append(
+                f"  PE{row['src_pe']} -> PE{row['dst_pe']}: "
+                f"{row['cycles']:,} cycles over {row['transfers']} transfers"
+            )
+    lines += [
+        "",
+        "predicted T_TOTAL if one target's cost were scaled (best first):",
+    ]
+    for row in report["predictions"]:
+        target = f"{row['target']}={row['factor']:g}x"
+        lines.append(
+            f"  {target:<20} -> {row['predicted_t_total']:>12,} "
+            f"({row['predicted_speedup']:.3f}x, "
+            f"{row['predicted_delta_pct']:+.1f}%)"
+        )
+    if report["points"]:
+        lines += ["", "replayed points:"]
+        for row in report["points"]:
+            scales = " ".join(
+                f"{t}={f:g}x" for t, f in row["scales"].items()) or "1x"
+            if "error" in row:
+                lines.append(f"  {scales:<32} FAILED: {row['error']}")
+                continue
+            extra = ""
+            if "prediction_error_pct" in row:
+                extra = (f"  predicted {row['predicted_t_total']:,} "
+                         f"(err {row['prediction_error_pct']:+.2f}%)")
+            mark = "" if row["result_matches_baseline"] else "  RESULT DIVERGED"
+            lines.append(
+                f"  {scales:<32} T_TOTAL {row['totals']['t_total']:>12,} "
+                f"({row['speedup']:.3f}x){extra}{mark}"
+            )
+    return "\n".join(lines)
+
+
 def papi_report(trace: PAPITrace, event: str | None = None,
                 title: str = "PAPI region profiling") -> str:
     """Per-PE counter totals as text bars (one chart per event)."""

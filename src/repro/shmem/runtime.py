@@ -101,6 +101,14 @@ class ShmemRuntime:
         self._coll: dict[int, _Rendezvous] = {}
         # outstanding non-blocking puts per PE: completion times
         self._pending_nbi: list[list[int]] = [[] for _ in range(spec.n_pes)]
+        #: Optional ``(rank, start, end, reason)`` callback fired when a PE
+        #: stalls inside :meth:`ShmemContext.quiet` waiting on its own
+        #: outstanding puts.  Observation only — never charges cycles.
+        self.wait_sink: Callable[[int, int, int, str], None] | None = None
+        #: Optional ``(kind, seq, arrivals, release_time)`` callback fired by
+        #: the last arriver of a collective, with ``arrivals`` mapping each
+        #: participant rank to its pre-release arrival clock.
+        self.coll_sink: Callable[[str, int, dict[int, int], int], None] | None = None
 
     # ------------------------------------------------------------------
 
@@ -145,6 +153,11 @@ class ShmemRuntime:
             state.release_time = latest + self.cost.collective_cycles(self.spec.n_pes)
             state.result = combine(state.arrived)
             state.released = True
+            if self.coll_sink is not None:
+                arrivals = {
+                    r: self.scheduler.clocks[r].now for r in state.arrived
+                }
+                self.coll_sink(kind, seq, arrivals, state.release_time)
             for r in state.arrived:
                 self.scheduler.clocks[r].advance_to(state.release_time)
             del self._coll[seq]
@@ -286,6 +299,9 @@ class ShmemContext:
         self.perf.work(ins=15, loads=3, extra_cycles=self.runtime.cost.quiet_base_cycles)
         waited = self.perf.stall_until(target)
         pending.clear()
+        if waited > 0 and self.runtime.wait_sink is not None:
+            now = self.perf.clock.now
+            self.runtime.wait_sink(self.rank, now - waited, now, "quiet")
         self.runtime.log("shmem_quiet", self.rank, self.rank, 0)
         return waited
 

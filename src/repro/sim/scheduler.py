@@ -155,6 +155,11 @@ class CoopScheduler:
         #: Optional callable appended to deadlock reports (the fault
         #: injector's schedule, when a fault plan is active).
         self.fault_context: Callable[[], str] | None = None
+        #: Optional ``(rank, start, end, reason)`` callback fired whenever a
+        #: :meth:`block` call resumes with the PE's clock advanced (i.e. the
+        #: PE genuinely waited).  Pure observation: it runs on the PE's own
+        #: thread after the baton handoff and must not charge cycles.
+        self.wait_observer: Callable[[int, int, int, str], None] | None = None
 
     # ------------------------------------------------------------------
     # Public API used by layer code running *inside* PE threads
@@ -205,6 +210,7 @@ class CoopScheduler:
             raise SimulationError(
                 f"PE {rank} tried to block forever ({reason or 'no reason given'})"
             )
+        entered_at = self.clocks[rank].now
         with self._lock:
             self._check_abort()
             rec = self._pes[rank]
@@ -215,10 +221,21 @@ class CoopScheduler:
             nxt = self._select_locked()
             if nxt is rec:
                 self._resume_locked(rec)
+                self._note_wait(rank, entered_at, reason)
                 return
             if nxt is not None:
                 self._wake_locked(nxt)
         self._sleep(rank)
+        self._note_wait(rank, entered_at, reason)
+
+    def _note_wait(self, rank: int, entered_at: int, reason: str) -> None:
+        """Report a completed :meth:`block` interval to the wait observer."""
+        observer = self.wait_observer
+        if observer is None:
+            return
+        now = self.clocks[rank].now
+        if now > entered_at:
+            observer(rank, entered_at, now, reason)
 
     def wait_until(
         self,

@@ -1,0 +1,288 @@
+"""Scale specs and the cost-perturbing profiler for what-if replays.
+
+A *scale* names one resource and a positive factor that multiplies its
+**cost** (its time per unit of work).  Factors below 1.0 make the resource
+faster: ``mailbox:2=0.5x`` means "handlers of mailbox 2 run in half the
+time" — i.e. a 2x virtual *speedup* of that mailbox.  Factors above 1.0
+slow the resource down.  Recognized targets:
+
+``pe:<rank>``
+    All busy work on one PE (multiplies :class:`PerfCore` cost).
+``mailbox:<id>``
+    PROC work while a PE is processing that mailbox's messages.
+``main`` / ``proc`` / ``comm``
+    All work attributed to that region, on every PE.
+``net.latency`` / ``net.bytes``
+    The per-message latency / per-byte cost of remote transfers
+    (:class:`~repro.machine.cost.CostModel` ``net_latency_cycles`` /
+    ``net_cycles_per_byte``).
+``collective``
+    Barrier/reduction rendezvous cost (``collective_base_cycles`` +
+    ``collective_cycles_per_pe``).
+``buffer``
+    Conveyor ``buffer_items`` (replay-only: buffer size changes reshape
+    the event DAG, so the analyzer refuses to *predict* them).
+
+Region scales compose multiplicatively: ``pe:1=2x`` + ``proc=0.5x`` runs
+PE 1's PROC work at 1.0x cost and its MAIN/COMM work at 2x.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.flags import ProfileFlags
+from repro.core.profiler import ActorProf
+from repro.machine.cost import CostModel
+
+#: Targets that take no ``:<id>`` suffix.
+GLOBAL_TARGETS = (
+    "main", "proc", "comm", "net.latency", "net.bytes", "collective",
+    "buffer",
+)
+#: Targets of the form ``prefix:<non-negative int>``.
+PREFIXED_TARGETS = ("mailbox", "pe")
+
+#: Targets whose effect cannot be predicted from the baseline DAG and is
+#: only observable by replaying (they change the DAG's shape).
+REPLAY_ONLY_TARGETS = frozenset({"buffer"})
+
+
+def parse_scale(text: str) -> tuple[str, float]:
+    """Parse one ``TARGET=FACTOR`` spec (``mailbox:0=2x``, ``main=0.5``).
+
+    The factor may carry a trailing ``x``; it must be a positive finite
+    number.  Raises :class:`ValueError` with an actionable message.
+    """
+    target, sep, value = text.partition("=")
+    if not sep:
+        raise ValueError(
+            f"bad scale {text!r}: expected TARGET=FACTOR "
+            f"(e.g. mailbox:0=2x, net.latency=0.5x)"
+        )
+    target = target.strip().lower()
+    raw = value.strip().lower().removesuffix("x")
+    try:
+        factor = float(raw)
+    except ValueError:
+        raise ValueError(f"bad scale factor {value.strip()!r} in {text!r}: "
+                         f"expected a number like 2, 0.5 or 1.5x") from None
+    if not factor > 0 or factor != factor or factor == float("inf"):
+        raise ValueError(f"scale factor must be a positive finite number, "
+                         f"got {factor} in {text!r}")
+    _validate_target(target, text)
+    return target, factor
+
+
+def _validate_target(target: str, context: str) -> None:
+    if target in GLOBAL_TARGETS:
+        return
+    prefix, sep, suffix = target.partition(":")
+    if sep and prefix in PREFIXED_TARGETS:
+        try:
+            idx = int(suffix)
+        except ValueError:
+            idx = -1
+        if idx >= 0:
+            return
+        raise ValueError(
+            f"bad scale target {target!r} in {context!r}: {prefix}: needs a "
+            f"non-negative integer id (e.g. {prefix}:0)"
+        )
+    known = ", ".join(GLOBAL_TARGETS) + ", mailbox:<id>, pe:<rank>"
+    raise ValueError(
+        f"unknown scale target {target!r} in {context!r}; known targets: {known}"
+    )
+
+
+class Scales:
+    """An immutable bundle of scale factors keyed by target name."""
+
+    __slots__ = ("_factors",)
+
+    def __init__(self, factors: Mapping[str, float] | None = None) -> None:
+        clean: dict[str, float] = {}
+        for target, factor in (factors or {}).items():
+            target = target.strip().lower()
+            _validate_target(target, target)
+            factor = float(factor)
+            if not factor > 0 or factor == float("inf") or factor != factor:
+                raise ValueError(
+                    f"scale factor for {target!r} must be a positive finite "
+                    f"number, got {factor}"
+                )
+            clean[target] = factor
+        self._factors = clean
+
+    @classmethod
+    def from_args(cls, items: Iterable[str]) -> Scales:
+        """Build from repeated CLI ``--scale TARGET=FACTOR`` strings.
+
+        A target repeated across items composes multiplicatively.
+        """
+        factors: dict[str, float] = {}
+        for item in items:
+            target, factor = parse_scale(item)
+            factors[target] = factors.get(target, 1.0) * factor
+        return cls(factors)
+
+    # -- introspection -------------------------------------------------
+
+    def to_dict(self) -> dict[str, float]:
+        return {k: self._factors[k] for k in sorted(self._factors)}
+
+    def describe(self) -> str:
+        return " ".join(f"{k}={v:g}x" for k, v in self.to_dict().items()) or "1x"
+
+    @property
+    def neutral(self) -> bool:
+        """True when every factor is exactly 1.0 (replay == baseline)."""
+        return all(f == 1.0 for f in self._factors.values())
+
+    @property
+    def replay_only(self) -> bool:
+        """True when prediction from the baseline DAG is impossible."""
+        return any(
+            t in REPLAY_ONLY_TARGETS and f != 1.0
+            for t, f in self._factors.items()
+        )
+
+    def merged(self, other: Scales) -> Scales:
+        """Compose two bundles (shared targets multiply)."""
+        factors = dict(self._factors)
+        for t, f in other._factors.items():
+            factors[t] = factors.get(t, 1.0) * f
+        return Scales(factors)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Scales) and self._factors == other._factors
+
+    def __repr__(self) -> str:
+        return f"Scales({self.to_dict()!r})"
+
+    # -- factor lookups ------------------------------------------------
+
+    def factor(self, target: str) -> float:
+        return self._factors.get(target, 1.0)
+
+    def region_factor(self, pe: int, region: str, mailbox: int = -1) -> float:
+        """Combined busy-work cost factor for ``pe`` in ``region``."""
+        f = self._factors.get(f"pe:{pe}", 1.0)
+        if region == "MAIN":
+            f *= self._factors.get("main", 1.0)
+        elif region == "PROC":
+            f *= self._factors.get("proc", 1.0)
+            if mailbox >= 0:
+                f *= self._factors.get(f"mailbox:{mailbox}", 1.0)
+        else:
+            f *= self._factors.get("comm", 1.0)
+        return f
+
+    def cost_overrides(self, base: CostModel) -> dict[str, float | int]:
+        """``CostModel.scaled()`` overrides for the net/collective targets."""
+        out: dict[str, float | int] = {}
+        f = self._factors.get("net.latency", 1.0)
+        if f != 1.0:
+            out["net_latency_cycles"] = max(0, round(base.net_latency_cycles * f))
+        f = self._factors.get("net.bytes", 1.0)
+        if f != 1.0:
+            out["net_cycles_per_byte"] = base.net_cycles_per_byte * f
+        f = self._factors.get("collective", 1.0)
+        if f != 1.0:
+            out["collective_base_cycles"] = max(
+                0, round(base.collective_base_cycles * f))
+            out["collective_cycles_per_pe"] = max(
+                0, round(base.collective_cycles_per_pe * f))
+        return out
+
+    def scaled_cost(self, base: CostModel | None = None) -> CostModel | None:
+        """A perturbed :class:`CostModel`, or None when nothing changes.
+
+        Returning None (rather than an identical copy) keeps the neutral
+        replay path bit-for-bit the same call sequence as a plain run.
+        """
+        base = base or CostModel()
+        overrides = self.cost_overrides(base)
+        return base.scaled(**overrides) if overrides else None
+
+    def buffer_items(self, base: int) -> int:
+        """Perturbed conveyor ``buffer_items`` (min 1)."""
+        f = self._factors.get("buffer", 1.0)
+        if f == 1.0:
+            return base
+        return max(1, round(base * f))
+
+
+class WhatifProfiler(ActorProf):
+    """An :class:`ActorProf` that perturbs per-region compute cost live.
+
+    On every region transition it sets the PE's :class:`PerfCore` ``rate``
+    to ``base_rate * scales.region_factor(...)`` — where ``base_rate`` is
+    whatever the rate was at attach time, so fault-plan slow-PE
+    multipliers compose with what-if scales.  With neutral scales the
+    rate is never touched at all, which keeps a 1.0x replay byte-identical
+    to the baseline.
+
+    When a ``recorder`` (:class:`~repro.whatif.dag.DagRecorder`) is given,
+    the profiler also wires the runtime's observation seams — scheduler
+    block intervals, quiet stalls, collective joins, and per-transfer
+    (issue, arrival) pairs — into it.  Observation never charges cycles.
+    """
+
+    def __init__(self, scales: Scales | None = None, recorder=None,
+                 flags: ProfileFlags | None = None) -> None:
+        # The DAG needs region spans, so the timeline defaults ON here
+        # (it charges no cycles and is not serialized into archives, so
+        # replays stay byte-identical to plain profiled runs).
+        super().__init__(flags or ProfileFlags.all(enable_timeline=True))
+        self.scales = scales or Scales()
+        self.recorder = recorder
+        self._base_rates: list[float] = []
+        self._scaling = not self.scales.neutral
+
+    def attach(self, world):
+        hooks, tracer = super().attach(world)
+        self._base_rates = [perf.rate for perf in world.shmem.perf]
+        if self._scaling:
+            for pe in range(world.spec.n_pes):
+                self._set_rate(pe, "COMM")
+        rec = self.recorder
+        if rec is not None:
+            world.scheduler.wait_observer = rec.note_wait
+            world.shmem.wait_sink = rec.note_wait
+            world.shmem.coll_sink = rec.note_collective
+        # Region hooks and the transfer sink must see this object even
+        # when the base profiler would opt out via flags.
+        return self, self
+
+    # -- transfer seam (see Conveyor._flush_buffer) --------------------
+
+    def record_transfer(self, kind: str, nbytes: int, src: int, dst: int,
+                        issue: int, arrival: int) -> None:
+        if self.recorder is not None:
+            self.recorder.note_transfer(kind, nbytes, src, dst, issue, arrival)
+
+    # -- region transitions --------------------------------------------
+
+    def _set_rate(self, pe: int, region: str, mailbox: int = -1) -> None:
+        if self._scaling:
+            self.world.shmem.perf[pe].rate = (
+                self._base_rates[pe]
+                * self.scales.region_factor(pe, region, mailbox)
+            )
+
+    def main_enter(self, pe: int) -> None:
+        self._set_rate(pe, "MAIN")
+        super().main_enter(pe)
+
+    def main_exit(self, pe: int) -> None:
+        super().main_exit(pe)
+        self._set_rate(pe, "COMM")
+
+    def proc_enter(self, pe: int, mailbox: int) -> None:
+        self._set_rate(pe, "PROC", mailbox)
+        super().proc_enter(pe, mailbox)
+
+    def proc_exit(self, pe: int, mailbox: int, n_items: int) -> None:
+        super().proc_exit(pe, mailbox, n_items)
+        self._set_rate(pe, "COMM")

@@ -1,0 +1,70 @@
+"""Execute one workload under perturbed costs and summarize its totals."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+
+from repro.check.policies import make_schedules
+from repro.check.workloads import RunArtifacts, Workload
+from repro.sim.faults import FaultPlan, use_plan
+from repro.whatif.dag import DagRecorder
+from repro.whatif.perturb import Scales, WhatifProfiler
+
+#: Mirrors the ActorCheck auditor: a what-if comparison needs complete
+#: runs on both sides, so crash plans are rejected eagerly.
+CRASH_PLAN_ERROR = (
+    "what-if analysis needs complete runs; fault plans with PE crashes "
+    "cannot be replayed (drop/delay/duplicate/slow are fine)"
+)
+
+
+def reject_crash_plans(plan: FaultPlan | None) -> None:
+    if plan is not None and getattr(plan, "crashes", ()):
+        raise ValueError(CRASH_PLAN_ERROR)
+
+
+def execute_point(workload: Workload, scales: Scales, *,
+                  archive_path: Path,
+                  fault_plan: FaultPlan | None = None,
+                  recorder: DagRecorder | None = None) -> RunArtifacts:
+    """Run ``workload`` once under ``scales`` on its default schedule.
+
+    Compute scales ride on a :class:`WhatifProfiler`; network/collective
+    scales become a perturbed :class:`~repro.machine.cost.CostModel`;
+    buffer scales resize the conveyor config before the run.  A neutral
+    ``scales`` takes the exact same code path as a plain profiled run and
+    produces a byte-identical archive.
+    """
+    reject_crash_plans(fault_plan)
+    schedule = make_schedules(workload.seed, 1)[0]
+    buffer_items = scales.buffer_items(workload.base_config.buffer_items)
+    if buffer_items != workload.base_config.buffer_items:
+        workload.base_config = replace(
+            workload.base_config, buffer_items=buffer_items
+        )
+    profiler = WhatifProfiler(scales=scales, recorder=recorder)
+    with use_plan(fault_plan):
+        return workload.run(
+            schedule, archive_path, profiler=profiler,
+            cost=scales.scaled_cost(),
+        )
+
+
+def run_totals(art: RunArtifacts) -> dict[str, int]:
+    """The T_* summary the what-if report diffs across points.
+
+    ``t_total`` is the run's virtual makespan (max final PE clock) — the
+    quantity the DAG analyzer predicts; ``finish_max`` is the slowest
+    PE's outermost finish span; the region sums come straight from the
+    TCOMM profile (``t_comm`` derived, as always).
+    """
+    overall = art.profiler.overall
+    assert overall is not None
+    return {
+        "t_total": int(max(art.clocks, default=0)),
+        "finish_max": int(overall.t_total.max()),
+        "t_main": int(overall.t_main.sum()),
+        "t_proc": int(overall.t_proc.sum()),
+        "t_comm": int(overall.t_comm().sum()),
+    }

@@ -1,0 +1,43 @@
+"""The what-if engine's worker function (runs in spawned processes).
+
+One call = one replay point.  All inputs arrive as JSON-serializable
+kwargs — which is exactly what makes the :class:`repro.exec.ResultCache`
+key correct for sweeps: the scale factors are *in* the kwargs, so two
+points that differ only in ``--scale`` hash to different keys (the
+regression the ISSUE calls out for ``apptask``-style keys that only
+cover app params).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.check.workloads import workload_from_descriptor
+from repro.sim.faults import FaultPlan
+from repro.whatif.perturb import Scales
+from repro.whatif.replay import execute_point, run_totals
+
+
+def run_whatif_point(out_dir: Path, *, workload: dict, scales: dict,
+                     fault_plan: dict | None = None,
+                     tag: str = "point") -> dict:
+    """Replay one workload under one scale bundle; return its totals.
+
+    ``workload`` is a :meth:`~repro.check.workloads.Workload.descriptor`
+    dict, ``scales`` a ``{target: factor}`` mapping, ``fault_plan`` an
+    optional :meth:`FaultPlan.to_dict` payload.  The traces land in
+    ``out_dir/<tag>.aptrc``.
+    """
+    wl = workload_from_descriptor(workload)
+    sc = Scales(scales)
+    plan = FaultPlan.from_dict(fault_plan) if fault_plan else None
+    archive = f"{tag}.aptrc"
+    art = execute_point(wl, sc, archive_path=Path(out_dir) / archive,
+                        fault_plan=plan)
+    return {
+        "scales": sc.to_dict(),
+        "totals": run_totals(art),
+        "result_fingerprint": art.result_fingerprint,
+        "archive_sha256": art.archive_sha256,
+        "artifacts": [archive],
+    }
