@@ -1,0 +1,230 @@
+"""Benchmark: scheduler weak scaling, 64 -> 256 -> 1024 PEs.
+
+The indexed scheduler core (key-vector candidate index, channel-gated
+predicate re-evaluation, batched event drains) exists so that the paper's
+kernels stay usable at three-digit PE counts, where the old linear
+selection scan made every scheduling decision O(n_pes).  This benchmark
+pins that down:
+
+* **Weak-scaling sweep** — the Listing 1-2 histogram at a fine-grained
+  operating point (2 single-word remote updates per PE, the regime where
+  scheduler overhead dominates data movement) on 64, 256 and 1024 PEs,
+  indexed core.  The linear oracle core runs the 64- and 256-PE points as
+  the baseline; at 1024 PEs its O(n_pes)-per-selection scan is exactly
+  the pathology the index removes, so it is skipped and noted in the
+  emitted JSON.
+* **Throughput gate** — at 256 PEs the indexed core must deliver at
+  least ``GATE_RATIO`` (5x) the baton-handoff throughput of the linear
+  baseline.
+* **Triangle point** — the paper's other kernel at 256 PEs, both cores,
+  as a second (ungated) ratio witness.
+
+Metrics per point: wall seconds, handoffs and handoffs/sec, events fired
+and events/sec, selections, predicate evaluations, event batches, and
+the process peak RSS.  Numbers land in
+``benchmarks/output/BENCH_sim_scale.json``.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_sim_scale.py -v -s
+"""
+
+import json
+import os
+import resource
+import time
+
+import pytest
+
+from repro.apps.histogram import histogram
+from repro.apps.triangle import count_triangles
+from repro.graphs.matrix import LowerTriangular
+from repro.graphs.rmat import erdos_renyi_edges
+from repro.machine.spec import MachineSpec
+
+#: Updates per PE: 2 keeps every run latency-bound (scheduler-dominated),
+#: which is the regime the candidate index targets.
+UPDATES_PER_PE = 2
+TABLE_SIZE = 64
+PE_COUNTS = (64, 256, 1024)
+GATE_PES = 256
+GATE_RATIO = 5.0
+#: Best-of-N timing absorbs scheduler/OS noise without inflating totals.
+REPS = 3
+
+_CORE_ENV = "ACTORPROF_SIM_CORE"
+
+
+def _machine(n_pes: int) -> MachineSpec:
+    """Weak-scaling family: 4 PEs per node, nodes grow with the sweep."""
+    return MachineSpec(n_pes // 4, 4)
+
+
+def _run_once(core: str, fn):
+    """One run of ``fn`` under scheduler core ``core``.
+
+    Returns ``(sim_wall, full_wall, result)`` where ``sim_wall`` is the
+    scheduler's own ``stats.wall_s`` (the simulation phase: thread spawn
+    through completion, excluding world construction and result
+    collection) — the denominator of handoff/event throughput.
+    """
+    saved = os.environ.get(_CORE_ENV)
+    os.environ[_CORE_ENV] = core
+    try:
+        t0 = time.perf_counter()
+        result = fn()
+        full = time.perf_counter() - t0
+    finally:
+        if saved is None:
+            del os.environ[_CORE_ENV]
+        else:
+            os.environ[_CORE_ENV] = saved
+    return _scheduler_of(result).stats.wall_s, full, result
+
+
+def _scheduler_of(result):
+    run = getattr(result, "run", result)
+    return run.world.scheduler
+
+
+def _measure_pair(fn):
+    """Interleaved best-of-REPS measurement of both cores on ``fn``.
+
+    Alternating indexed/linear runs keeps transient machine noise (cpufreq
+    ramps, neighbours) from landing on one core's samples only.
+    """
+    best = {"indexed": None, "linear": None}
+    for _ in range(REPS):
+        for core in ("indexed", "linear"):
+            sample = _run_once(core, fn)
+            if best[core] is None or sample[0] < best[core][0]:
+                best[core] = sample
+    return best["indexed"], best["linear"]
+
+
+def _point(core: str, sample) -> dict:
+    sim_wall, full_wall, result = sample
+    stats = _scheduler_of(result).stats
+    return {
+        "core": core,
+        "sim_wall_s": round(sim_wall, 4),
+        "full_wall_s": round(full_wall, 4),
+        "handoffs": stats.handoffs,
+        "handoffs_per_s": round(stats.handoffs / sim_wall, 1),
+        "events_fired": stats.events_fired,
+        "events_per_s": round(stats.events_fired / sim_wall, 1),
+        "event_batches": stats.event_batches,
+        "selections": stats.selections,
+        "pred_evals": stats.pred_evals,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
+def _triangle_graph():
+    return LowerTriangular.from_edges(erdos_renyi_edges(400, 1600, seed=1))
+
+
+def test_sim_scale_weak_scaling(outdir):
+    bench = {
+        "scenario": {
+            "kernel": "histogram",
+            "updates_per_pe": UPDATES_PER_PE,
+            "table_size": TABLE_SIZE,
+            "pes_per_node": 4,
+            "reps": REPS,
+            "timing": "best-of-reps over interleaved cores; throughput uses "
+                      "the scheduler's simulation-phase wall (stats.wall_s)",
+        },
+        "histogram": {},
+        "triangle": {},
+        "notes": [],
+    }
+
+    # Untimed warmup: first simulation in a process pays one-off costs
+    # (imports, allocator growth, cpufreq ramp) that are not scheduler
+    # throughput.
+    _run_once(
+        "indexed",
+        lambda: histogram(UPDATES_PER_PE, TABLE_SIZE, _machine(GATE_PES)),
+    )
+
+    for n_pes in PE_COUNTS:
+        entry = {}
+        def fn(n=n_pes):
+            return histogram(UPDATES_PER_PE, TABLE_SIZE, _machine(n))
+
+        if n_pes <= GATE_PES:
+            sample_i, sample_l = _measure_pair(fn)
+            entry["indexed"] = _point("indexed", sample_i)
+            entry["linear"] = _point("linear", sample_l)
+            assert (
+                sample_l[2].per_pe_received == sample_i[2].per_pe_received
+            ), "cores disagree on histogram delivery"
+            entry["handoff_speedup"] = round(
+                entry["indexed"]["handoffs_per_s"]
+                / entry["linear"]["handoffs_per_s"],
+                2,
+            )
+        else:
+            best = None
+            for _ in range(REPS):
+                sample = _run_once("indexed", fn)
+                if best is None or sample[0] < best[0]:
+                    best = sample
+            entry["indexed"] = _point("indexed", best)
+        bench["histogram"][str(n_pes)] = entry
+    bench["notes"].append(
+        "linear baseline skipped at 1024 PEs: its O(n_pes)-per-selection "
+        "scan is the removed pathology and takes minutes at that scale"
+    )
+
+    graph = _triangle_graph()
+    tri = {}
+    sample_i, sample_l = _measure_pair(
+        lambda: count_triangles(graph, _machine(GATE_PES), "cyclic")
+    )
+    tri["indexed"] = _point("indexed", sample_i)
+    tri["linear"] = _point("linear", sample_l)
+    tri["triangles"] = sample_i[2].triangles
+    assert (
+        sample_l[2].triangles == sample_i[2].triangles
+    ), "cores disagree on triangle count"
+    tri["handoff_speedup"] = round(
+        tri["indexed"]["handoffs_per_s"] / tri["linear"]["handoffs_per_s"], 2
+    )
+    bench["triangle"][str(GATE_PES)] = tri
+
+    gate = bench["histogram"][str(GATE_PES)]["handoff_speedup"]
+    bench["gate"] = {
+        "pes": GATE_PES,
+        "required_speedup": GATE_RATIO,
+        "measured_speedup": gate,
+    }
+
+    out = outdir / "BENCH_sim_scale.json"
+    out.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+
+    print("\nscheduler weak scaling (histogram, 2 updates/PE):")
+    for n_pes in PE_COUNTS:
+        e = bench["histogram"][str(n_pes)]
+        line = (
+            f"  {n_pes:5d} PEs: indexed {e['indexed']['sim_wall_s']:7.3f}s "
+            f"({e['indexed']['handoffs_per_s']:>9.1f} handoffs/s)"
+        )
+        if "linear" in e:
+            line += (
+                f"  linear {e['linear']['sim_wall_s']:7.3f}s "
+                f"-> {e['handoff_speedup']:.2f}x"
+            )
+        print(line)
+    t = bench["triangle"][str(GATE_PES)]
+    print(
+        f"  triangle {GATE_PES} PEs: indexed {t['indexed']['sim_wall_s']:.3f}s "
+        f"linear {t['linear']['sim_wall_s']:.3f}s -> {t['handoff_speedup']:.2f}x"
+    )
+
+    if gate < GATE_RATIO:
+        pytest.fail(
+            f"indexed core handoff throughput at {GATE_PES} PEs is only "
+            f"{gate:.2f}x the linear baseline (need >= {GATE_RATIO}x)"
+        )

@@ -124,6 +124,13 @@ class ConveyorGroup:
         self.topology: Topology = make_topology(self.config.topology, runtime.spec)
         self.live = 0  # pushed-but-not-yet-pulled items, globally
         self.done = [False] * runtime.spec.n_pes
+        self._done_count = 0
+        self._quiescent = False
+        #: WaitChannel notified whenever quiescence flips (either way:
+        #: a handler running during another group's drain may push after
+        #: this group already went quiescent).  Drain loops blocked on
+        #: completion register with it.
+        self.wake = runtime.scheduler.channel()
         self.endpoints = [Conveyor(self, pe) for pe in range(runtime.spec.n_pes)]
 
     @property
@@ -131,8 +138,38 @@ class ConveyorGroup:
         return self.runtime.spec.n_pes
 
     def quiescent(self) -> bool:
-        """True when no endpoint will push again and every item was pulled."""
-        return self.live == 0 and all(self.done)
+        """True when no endpoint will push again and every item was pulled.
+
+        O(1): ``done`` flags are counted as they flip (:meth:`mark_done`)
+        instead of re-scanned per call — this sits inside every
+        ``advance()`` poll and every drain predicate.
+        """
+        return self.live == 0 and self._done_count == len(self.done)
+
+    def add_live(self, n: int) -> None:
+        """Account ``n`` newly pushed items (may revoke quiescence)."""
+        self.live += n
+        if self._quiescent:
+            self._quiescent = False
+            self.wake.notify()
+
+    def drop_live(self, n: int) -> None:
+        """Account ``n`` pulled items."""
+        self.live -= n
+        self._recheck_quiescent()
+
+    def mark_done(self, pe: int) -> None:
+        """Record endpoint ``pe``'s (sticky, idempotent) done signal."""
+        if not self.done[pe]:
+            self.done[pe] = True
+            self._done_count += 1
+            self._recheck_quiescent()
+
+    def _recheck_quiescent(self) -> None:
+        q = self.live == 0 and self._done_count == len(self.done)
+        if q != self._quiescent:
+            self._quiescent = q
+            self.wake.notify()
 
 
 class Conveyor:
@@ -146,7 +183,16 @@ class Conveyor:
         cfg = group.config
         self.width = HEADER_WORDS + cfg.payload_words
         self.out: dict[int, OutBuffer] = {}
+        # Per-hop queued-item counts, mirrored from the OutBuffers so flush
+        # candidates come from one vectorized compare instead of a dict walk.
+        self._out_items = np.zeros(group.n_pes, dtype=np.int64)
+        self._out_total = 0  # scalar sum of _out_items: O(1) empty probe
         self.inbound: list[InboundBuffer] = []
+        # Cached min over inbound arrivals (None iff inbound is empty):
+        # makes the per-advance visibility probe O(1).
+        self._min_arrival: int | None = None
+        #: WaitChannel notified on every inbound delivery to this endpoint.
+        self.inbox_wake = group.runtime.scheduler.channel()
         self.ready = ReadyQueue()
         self.outstanding: dict[int, int] = {}
         self.done_requested = False
@@ -184,7 +230,7 @@ class Conveyor:
             row[0, COL_SRC] = self.me
             row[0, HEADER_WORDS:] = payload
             self.ready.put(row)
-            self.group.live += 1
+            self.group.add_live(1)
             self.stats.pushes += 1
             return True
         hop = self.group.topology.next_hop(self.me, dst) if dst != self.me else self.me
@@ -194,8 +240,10 @@ class Conveyor:
             self.perf.work(ins=self.perf.cost.push_retry_ins, loads=2, branches=1)
             return False
         buf.append(dst, self.me, tuple(payload))
+        self._out_items[hop] += 1
+        self._out_total += 1
         self.perf.work(ins=self.perf.cost.push_ins, loads=4, stores=4, branches=2)
-        self.group.live += 1
+        self.group.add_live(1)
         self.stats.pushes += 1
         return True
 
@@ -241,7 +289,7 @@ class Conveyor:
         cost = self.perf.cost
         self.perf.work(ins=cost.push_ins * n, loads=4 * n, stores=4 * n,
                        branches=2 * n)
-        self.group.live += n
+        self.group.add_live(n)
         self.stats.pushes += n
         return n
 
@@ -260,7 +308,7 @@ class Conveyor:
             return None
         self.perf.work(ins=self.perf.cost.pull_item_ins, loads=3, stores=1, branches=1)
         self.stats.pulls += 1
-        self.group.live -= 1
+        self.group.drop_live(1)
         src = int(row[COL_SRC])
         if self.width - HEADER_WORDS == 1:
             return src, int(row[HEADER_WORDS])
@@ -283,7 +331,7 @@ class Conveyor:
                 branches=total,
             )
             self.stats.pulls += total
-            self.group.live -= total
+            self.group.drop_live(total)
         return segs
 
     @property
@@ -302,7 +350,7 @@ class Conveyor:
         """
         if done:
             self.done_requested = True
-            self.group.done[self.me] = True
+            self.group.mark_done(self.me)
         self.perf.work(ins=self.perf.cost.advance_poll_ins, loads=6, branches=4)
         self._ingest_visible()
         self._flush(partial=self.done_requested)
@@ -312,8 +360,8 @@ class Conveyor:
 
     def has_visible_inbound(self) -> bool:
         """True when a delivered buffer is visible at the current clock."""
-        now = self.perf.clock.now
-        return any(b.arrival <= now for b in self.inbound)
+        ma = self._min_arrival
+        return ma is not None and ma <= self.perf.clock.now
 
     def has_inbound(self) -> bool:
         """True when any buffer is in flight to this PE (even future ones).
@@ -327,7 +375,7 @@ class Conveyor:
 
     def next_arrival_time(self) -> int | None:
         """Earliest arrival among in-flight buffers to this PE, or None."""
-        return min((b.arrival for b in self.inbound), default=None)
+        return self._min_arrival
 
     def is_complete(self) -> bool:
         """True when the whole conveyor group is quiescent."""
@@ -346,20 +394,35 @@ class Conveyor:
 
     def _hop_lookup(self) -> np.ndarray:
         if self._hop_map is None:
-            topo = self.group.topology
-            hops = np.empty(self.group.n_pes, dtype=np.int64)
-            for dst in range(self.group.n_pes):
-                hops[dst] = self.me if dst == self.me else topo.next_hop(self.me, dst)
-            self._hop_map = hops
+            self._hop_map = self.group.topology.hop_row(self.me)
         return self._hop_map
 
     def _route_rows(self, rows: np.ndarray) -> None:
-        """Place item rows into per-hop buffers, flushing full ones."""
+        """Place item rows into per-hop buffers, flushing full ones.
+
+        Hop groups are always processed in ascending hop order with the
+        rows inside a group in their original relative order, so the small
+        fast paths below are trace-identical to the stable-sort path.
+        """
         n = len(rows)
         if n == 0:
             return
         hop_map = self._hop_lookup()
         hops = hop_map[rows[:, COL_DST]]
+        first = int(hops[0])
+        if n == 1 or int(hops.max()) == int(hops.min()):
+            # Single destination hop (the common case for forwarded
+            # blocks): skip the sort/partition machinery entirely.
+            self._append_block(first, rows)
+            return
+        if n <= 16:
+            # Tiny mixed block: a Python bucket loop beats the numpy
+            # argsort/diff/concatenate pipeline below.
+            hop_list = hops.tolist()
+            for hop in sorted(set(hop_list)):
+                idx = [i for i, h in enumerate(hop_list) if h == hop]
+                self._append_block(hop, rows[idx])
+            return
         order = np.argsort(hops, kind="stable")
         rows = rows[order]
         hops = hops[order]
@@ -367,26 +430,37 @@ class Conveyor:
         starts = np.concatenate(([0], boundaries))
         ends = np.concatenate((boundaries, [n]))
         for s, e in zip(starts, ends):
-            hop = int(hops[s])
-            block = rows[s:e]
-            buf = self._buffer_for(hop)
-            off = 0
-            while off < len(block):
-                take = min(buf.space, len(block) - off)
-                buf.append_rows(block[off : off + take])
-                off += take
-                if buf.full:
-                    self._flush_buffer(hop, buf)
+            self._append_block(int(hops[s]), rows[s:e])
+
+    def _append_block(self, hop: int, block: np.ndarray) -> None:
+        """Append one same-hop row block to its buffer, flushing when full."""
+        buf = self._buffer_for(hop)
+        off = 0
+        while off < len(block):
+            take = min(buf.space, len(block) - off)
+            buf.append_rows(block[off : off + take])
+            self._out_items[hop] += take
+            self._out_total += take
+            off += take
+            if buf.full:
+                self._flush_buffer(hop, buf)
+
+    def _deliver(self, buf: InboundBuffer) -> None:
+        """Land an in-flight buffer at this endpoint (called by the sender)."""
+        self.inbound.append(buf)
+        if self._min_arrival is None or buf.arrival < self._min_arrival:
+            self._min_arrival = buf.arrival
+        self.inbox_wake.notify()
 
     def _ingest_visible(self) -> None:
         """Consume arrived buffers: deliver local items, forward the rest."""
-        if not self.inbound:
-            return
+        ma = self._min_arrival
+        if ma is None or ma > self.perf.clock.now:
+            return  # nothing in flight, or nothing visible yet: O(1) probe
         now = self.perf.clock.now
         visible = [b for b in self.inbound if b.arrival <= now]
-        if not visible:
-            return
         self.inbound = [b for b in self.inbound if b.arrival > now]
+        self._min_arrival = min((b.arrival for b in self.inbound), default=None)
         cost = self.perf.cost
         forward_total = 0
         for buf in visible:
@@ -415,10 +489,18 @@ class Conveyor:
             )
 
     def _flush(self, partial: bool) -> None:
-        hops = [h for h in sorted(self.out)
-                if not self.out[h].empty and (self.out[h].full or partial)]
-        if not hops:
+        # Vectorized candidate scan: a hop qualifies when its buffer is
+        # full (== buffer_items; counts never exceed capacity) or, once
+        # partial flushing is on, non-empty.  flatnonzero yields hops
+        # ascending — the same order the dict-walk produced — so the
+        # flush_order policy sees identical input.
+        if not self._out_total:
+            return  # no queued items anywhere: skip the vector scan
+        threshold = 1 if partial else self.group.config.buffer_items
+        candidates = np.flatnonzero(self._out_items >= threshold)
+        if candidates.size == 0:
             return
+        hops = [int(h) for h in candidates]
         if len(hops) > 1:
             hops = list(self.group.policy.flush_order(self.me, hops))
         for hop in hops:
@@ -429,6 +511,8 @@ class Conveyor:
 
     def _flush_buffer(self, hop: int, buf: OutBuffer) -> None:
         rows = buf.take()
+        self._out_total -= int(self._out_items[hop])
+        self._out_items[hop] = 0
         count = len(rows)
         if count == 0:
             return
@@ -456,11 +540,11 @@ class Conveyor:
             )
         self.stats.note_send(kind, nbytes)
         endpoint = self.group.endpoints[hop]
-        endpoint.inbound.append(
+        endpoint._deliver(
             InboundBuffer(arrival=arrival, hop_src=self.me, kind=kind, data=rows)
         )
         if duplicated:
-            endpoint.inbound.append(
+            endpoint._deliver(
                 InboundBuffer(
                     arrival=arrival, hop_src=self.me, kind=kind, data=rows,
                     duplicate=True,
@@ -518,6 +602,8 @@ class Conveyor:
     def _endgame_progress(self) -> None:
         """Final completion: once nothing remains buffered, ensure all
         outstanding puts are globally visible and signal their targets."""
+        if not self.outstanding:
+            return  # nothing to complete (common steady state in the drain)
         if any(not b.empty for b in self.out.values()):
             return
         dests = sorted(d for d, c in self.outstanding.items() if c > 0)

@@ -24,6 +24,8 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 from repro.machine.spec import MachineSpec
 
 
@@ -45,6 +47,19 @@ class Topology(ABC):
         ``current == final_dst`` is a caller error: delivery happens before
         routing is consulted.
         """
+
+    def hop_row(self, me: int) -> np.ndarray:
+        """Next hop from ``me`` toward every destination, as one vector.
+
+        Entry ``dst`` is ``next_hop(me, dst)``, except entry ``me`` which is
+        ``me`` itself (a message already at its destination is delivered, not
+        routed).  Subclasses with closed-form routing override this with a
+        vectorized build; this generic fallback just loops.
+        """
+        hops = np.empty(self.spec.n_pes, dtype=np.int64)
+        for dst in range(self.spec.n_pes):
+            hops[dst] = me if dst == me else self.next_hop(me, dst)
+        return hops
 
     def route(self, src: int, dst: int) -> list[int]:
         """Full hop list from ``src`` to ``dst`` (excluding ``src``)."""
@@ -70,6 +85,9 @@ class LinearTopology(Topology):
             raise ValueError("message already at destination")
         return final_dst
 
+    def hop_row(self, me: int) -> np.ndarray:
+        return np.arange(self.spec.n_pes, dtype=np.int64)
+
 
 class MeshTopology(Topology):
     """2D: row = node, column = local index.  Row hop, then column hop."""
@@ -89,6 +107,16 @@ class MeshTopology(Topology):
             return spec.pe_at(spec.node_of(current), dst_col)
         # Same column: hop down the column (inter-node) to the target row.
         return final_dst
+
+    def hop_row(self, me: int) -> np.ndarray:
+        spec = self.spec
+        ppn = spec.pes_per_node
+        dsts = np.arange(spec.n_pes, dtype=np.int64)
+        dst_col = dsts % ppn
+        row_hop = spec.node_of(me) * ppn + dst_col
+        # Different column: row hop.  Same column (including dst == me,
+        # where the row hop *is* me): hop straight down to the destination.
+        return np.where(dst_col != spec.local_index(me), row_hop, dsts)
 
 
 class CubeTopology(Topology):

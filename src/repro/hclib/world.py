@@ -155,6 +155,27 @@ class FinishScope:
         self.selectors: list = []
         self._tasks: list = []
         self._active = False
+        self._chan_cache: tuple = ()
+        self._chan_cache_for = -1
+
+    def _drain_channels(self) -> tuple:
+        """WaitChannels covering everything the drain predicates read.
+
+        Per selector mailbox: the conveyor group's quiescence channel
+        (``all_complete`` / ``_cascade_pending``) and this PE's endpoint
+        delivery channel (``visible`` / ``_has_any_inbound``).  Handlers
+        can register new selectors mid-drain, so the tuple is rebuilt
+        whenever the selector count changes.
+        """
+        if self._chan_cache_for != len(self.selectors):
+            chans = []
+            for s in self.selectors:
+                for mb in s.mb:
+                    chans.append(mb.conveyor.group.wake)
+                    chans.append(mb.conveyor.inbox_wake)
+            self._chan_cache = tuple(chans)
+            self._chan_cache_for = len(self.selectors)
+        return self._chan_cache
 
     def _register(self, selector) -> None:
         self.selectors.append(selector)
@@ -235,6 +256,7 @@ class FinishScope:
                         predicate=lambda: all_complete() or visible(),
                         wakeup_time=min(arrivals),
                         reason="finish drain (awaiting arrival)",
+                        channels=self._drain_channels(),
                     )
                 else:
                     # Nothing in flight to us yet: wake when anything is
@@ -253,6 +275,7 @@ class FinishScope:
                         or any(s._has_any_inbound() for s in sels)
                         or any(s._cascade_pending() for s in sels),
                         reason="finish drain (idle)",
+                        channels=self._drain_channels(),
                     )
             else:
                 ctx.scheduler.yield_pe(ctx.rank)

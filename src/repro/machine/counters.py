@@ -65,6 +65,39 @@ class CounterBank:
             raise KeyError(f"unknown counter {name!r}")
         self._v[name] += int(amount)
 
+    def charge_block(
+        self,
+        ins: int,
+        loads: int,
+        stores: int,
+        branches: int,
+        flops: int,
+        vec: int,
+        l1_misses: int,
+        l2_misses: int,
+        branch_misses: int,
+        cycles: int,
+    ) -> None:
+        """Bulk increment for one straight-line work block.
+
+        Equivalent to eleven :meth:`add` calls; collapsed into one method
+        because per-call overhead dominates the simulator's hot charging
+        path.  Callers must pass non-negative amounts (``PerfCore.work``
+        validates its inputs before charging).
+        """
+        v = self._v
+        v["PAPI_TOT_INS"] += int(ins)
+        v["PAPI_LST_INS"] += int(loads) + int(stores)
+        v["PAPI_LD_INS"] += int(loads)
+        v["PAPI_SR_INS"] += int(stores)
+        v["PAPI_BR_INS"] += int(branches)
+        v["PAPI_FP_OPS"] += int(flops)
+        v["PAPI_VEC_INS"] += int(vec)
+        v["PAPI_L1_DCM"] += int(l1_misses)
+        v["PAPI_L2_DCM"] += int(l2_misses)
+        v["PAPI_BR_MSP"] += int(branch_misses)
+        v["PAPI_TOT_CYC"] += int(cycles)
+
     def read(self, name: str) -> int:
         """Current value of counter ``name``."""
         return self._v[name]

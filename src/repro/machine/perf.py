@@ -76,30 +76,26 @@ class PerfCore:
         """
         if min(ins, loads, stores, branches, flops, vec, extra_cycles) < 0:
             raise ValueError("work amounts must be non-negative")
-        c = self.counters
-        c.add("PAPI_TOT_INS", ins)
-        c.add("PAPI_LST_INS", loads + stores)
-        c.add("PAPI_LD_INS", loads)
-        c.add("PAPI_SR_INS", stores)
-        c.add("PAPI_BR_INS", branches)
-        c.add("PAPI_FP_OPS", flops)
-        c.add("PAPI_VEC_INS", vec)
-        self._l1_resid += loads * self.cost.l1_miss_rate
+        cost = self.cost
+        self._l1_resid += loads * cost.l1_miss_rate
         l1 = int(self._l1_resid)
         self._l1_resid -= l1
-        c.add("PAPI_L1_DCM", l1)
-        self._l2_resid += loads * self.cost.l2_miss_rate
+        self._l2_resid += loads * cost.l2_miss_rate
         l2 = int(self._l2_resid)
         self._l2_resid -= l2
-        c.add("PAPI_L2_DCM", l2)
-        self._br_resid += branches * self.cost.branch_misp_rate
+        self._br_resid += branches * cost.branch_misp_rate
         br = int(self._br_resid)
         self._br_resid -= br
-        c.add("PAPI_BR_MSP", br)
-        cycles = self.cost.ins_cycles(ins) + extra_cycles
-        cycles += int(round(loads * self.cost.load_fraction_penalty))
-        cycles = self._scaled(cycles)
-        self._advance(cycles)
+        cycles = cost.ins_cycles(ins) + extra_cycles
+        cycles += int(round(loads * cost.load_fraction_penalty))
+        if self.rate != 1.0:
+            cycles = int(round(cycles * self.rate))
+        self.counters.charge_block(
+            ins, loads, stores, branches, flops, vec, l1, l2, br, cycles
+        )
+        # Direct bump instead of CycleClock.advance: cycles is validated
+        # non-negative above, and this is the simulator's hottest line.
+        self.clock._now += cycles
         return cycles
 
     def stall(self, cycles: int) -> int:
@@ -126,13 +122,11 @@ class PerfCore:
         line = self.cost.cache_line_bytes
         touches = max(1, (nbytes + line - 1) // line)
         # A streaming copy retires roughly one load+store pair per line.
-        c = self.counters
-        c.add("PAPI_TOT_INS", 2 * touches)
-        c.add("PAPI_LST_INS", 2 * touches)
-        c.add("PAPI_LD_INS", touches)
-        c.add("PAPI_SR_INS", touches)
         cycles = self._scaled(self.cost.memcpy_cycles(nbytes))
-        self._advance(cycles)
+        self.counters.charge_block(
+            2 * touches, touches, touches, 0, 0, 0, 0, 0, 0, cycles
+        )
+        self.clock.advance(cycles)
         return cycles
 
     def _scaled(self, cycles: int) -> int:

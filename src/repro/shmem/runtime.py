@@ -30,8 +30,9 @@ from repro.machine.network import NetworkModel
 from repro.machine.perf import PerfCore
 from repro.machine.spec import MachineSpec
 from repro.shmem.heap import SymmetricArray, SymmetricHeap
+from repro.sim.clock import advance_all_to, collect_now
 from repro.sim.errors import SimulationError
-from repro.sim.scheduler import CoopScheduler
+from repro.sim.scheduler import CoopScheduler, WaitChannel
 
 #: Reduction operators accepted by :meth:`ShmemContext.allreduce`.
 _REDUCERS: dict[str, Callable[[list[Any]], Any]] = {
@@ -53,16 +54,24 @@ class ShmemCall:
 
 
 class _Rendezvous:
-    """State for one in-flight collective instance."""
+    """State for one in-flight collective instance.
 
-    __slots__ = ("kind", "arrived", "released", "result", "release_time")
+    ``wake`` is the :class:`~repro.sim.scheduler.WaitChannel` non-last
+    arrivers register with; the releasing PE notifies it so blocked
+    participants are re-examined exactly once.  (The other way out of the
+    wait — a participant crashing — is an event firing, which dirties every
+    predicated-blocked PE by itself.)
+    """
 
-    def __init__(self, kind: str) -> None:
+    __slots__ = ("kind", "arrived", "released", "result", "release_time", "wake")
+
+    def __init__(self, kind: str, wake: WaitChannel) -> None:
         self.kind = kind
         self.arrived: dict[int, Any] = {}
         self.released = False
         self.result: Any = None
         self.release_time = 0
+        self.wake = wake
 
 
 class ShmemRuntime:
@@ -140,7 +149,7 @@ class ShmemRuntime:
         self._coll_seq[rank] += 1
         state = self._coll.get(seq)
         if state is None:
-            state = _Rendezvous(kind)
+            state = _Rendezvous(kind, self.scheduler.channel())
             self._coll[seq] = state
         elif state.kind != kind:
             raise SimulationError(
@@ -149,17 +158,19 @@ class ShmemRuntime:
             )
         state.arrived[rank] = value
         if len(state.arrived) == self.spec.n_pes:
-            latest = max(self.scheduler.clocks[r].now for r in state.arrived)
+            # All participants have arrived, so `arrived` covers every rank:
+            # snapshot the whole clock set vectorized for the release max.
+            latest = int(collect_now(self.scheduler.clocks).max())
             state.release_time = latest + self.cost.collective_cycles(self.spec.n_pes)
             state.result = combine(state.arrived)
             state.released = True
+            state.wake.notify()
             if self.coll_sink is not None:
                 arrivals = {
                     r: self.scheduler.clocks[r].now for r in state.arrived
                 }
                 self.coll_sink(kind, seq, arrivals, state.release_time)
-            for r in state.arrived:
-                self.scheduler.clocks[r].advance_to(state.release_time)
+            advance_all_to(self.scheduler.clocks, state.release_time)
             del self._coll[seq]
         else:
             # Crash awareness: a participant killed by an injected fault
@@ -174,6 +185,7 @@ class ShmemRuntime:
                     rank,
                     predicate=lambda: state.released or broken(),
                     reason=f"collective {kind} #{seq}",
+                    channels=(state.wake,),
                 )
             if not state.released:
                 missing = sorted(

@@ -35,7 +35,13 @@ from repro.sim.faults import (
     use_plan,
 )
 from repro.sim.rng import pe_rng, spawn_rngs
-from repro.sim.scheduler import CoopScheduler, PEState
+from repro.sim.scheduler import (
+    CoopScheduler,
+    PEState,
+    SchedStats,
+    SchedulePolicy,
+    WaitChannel,
+)
 
 __all__ = [
     "CrashFault",
@@ -52,8 +58,11 @@ __all__ = [
     "PECrashed",
     "PEFailure",
     "PEState",
+    "SchedStats",
+    "SchedulePolicy",
     "SimulationError",
     "SlowPE",
+    "WaitChannel",
     "current_plan",
     "pe_rng",
     "spawn_rngs",

@@ -9,6 +9,10 @@ and applied through :meth:`CycleClock.advance` / :meth:`CycleClock.advance_to`.
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 
 class CycleClock:
     """A monotonically non-decreasing virtual cycle counter.
@@ -57,3 +61,27 @@ class CycleClock:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CycleClock(now={self._now})"
+
+
+def collect_now(clocks: Sequence[CycleClock]) -> np.ndarray:
+    """Snapshot many clocks into an int64 vector.
+
+    Bulk phases (collective release accounting, the scheduler's candidate
+    index seed) read whole clock sets at once; one ``fromiter`` beats n
+    property lookups plus list building.
+    """
+    return np.fromiter(
+        (c._now for c in clocks), dtype=np.int64, count=len(clocks)
+    )
+
+
+def advance_all_to(clocks: Sequence[CycleClock], t: int) -> None:
+    """Advance every clock in ``clocks`` to absolute time ``t``.
+
+    Clocks already past ``t`` are untouched (clocks never rewind).  Used by
+    collective release, where all participants leave at the same virtual
+    time.
+    """
+    for c in clocks:
+        if t > c._now:
+            c._now = int(t)

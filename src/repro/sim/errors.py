@@ -22,11 +22,14 @@ class PEFailure(SimulationError):
     """An exception escaped a PE's program.
 
     The original exception is available as ``__cause__`` and the failing
-    rank as :attr:`rank`.
+    rank as :attr:`rank`.  A negative rank is the scheduler's sentinel for
+    the coordinating main thread (e.g. the initial selection failed before
+    any PE ran) — labelled as such rather than blamed on a real PE.
     """
 
     def __init__(self, rank: int, message: str) -> None:
-        super().__init__(f"PE {rank} failed: {message}")
+        label = f"PE {rank}" if rank >= 0 else "main thread (simulation coordinator)"
+        super().__init__(f"{label} failed: {message}")
         self.rank = rank
 
 

@@ -1,8 +1,10 @@
 """A timed event queue for the simulation kernel.
 
-Events carry a callback plus an absolute virtual time.  The scheduler drains
-due events when no PE is runnable; layers above (the network model, the
-conveyor delivery path) use it to make data appear at its arrival time.
+Events carry a callback plus an absolute virtual time.  The scheduler fires
+events that are due strictly before the best runnable candidate — draining
+everything at the firing timestamp in one :meth:`EventQueue.pop_due` batch;
+layers above (the fault injector, the network model) use it to make things
+happen at an absolute virtual time.
 
 Ordering is deterministic: events fire in (time, sequence-number) order,
 where the sequence number is assigned at scheduling time.

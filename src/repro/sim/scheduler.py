@@ -23,6 +23,27 @@ predicate holds, no timed wakeups exist and the event queue is empty while
 some PE is still blocked, a :class:`~repro.sim.errors.DeadlockError` is
 raised with a per-PE wait report.
 
+Indexed core
+------------
+The default (``indexed``) core keeps every candidate's key in a flat numpy
+``int64`` vector (``_NO_KEY`` marks non-candidates), so one SIMD ``min`` +
+``flatnonzero`` replaces the historical O(n_pes) Python scan per handoff.
+Blocked predicates are **epoch-gated**: a PE that blocks on a predicate
+registers with the :class:`WaitChannel` s covering the state it waits on,
+and the predicate is only re-evaluated when one of those channels is
+notified (a conveyor buffer landed, a conveyor group's quiescence flipped,
+a collective released) or an event fired.  Blocks that pass no channels
+fall back to the historical conservative behaviour — re-evaluation at
+every handoff.  Due events are drained in batches
+(:meth:`~repro.sim.events.EventQueue.pop_due`): every event at the firing
+timestamp — including events an action posts *at that same cycle* — fires
+in one pass before candidates are re-examined.
+
+The pre-index linear scan survives verbatim as ``core="linear"``
+(env ``ACTORPROF_SIM_CORE=linear``): it is the differential-testing oracle
+and the baseline the weak-scaling benchmark measures against.  Both cores
+produce byte-identical traces; the golden-archive suite pins this.
+
 Virtual time
 ------------
 Every PE owns a :class:`~repro.sim.clock.CycleClock`.  Picking the
@@ -36,13 +57,21 @@ strictly conservative.
 from __future__ import annotations
 
 import enum
+import os
 import threading
+import time
 import traceback
-from typing import Callable, Sequence
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
 
-from repro.sim.clock import CycleClock
+import numpy as np
+
+from repro.sim.clock import CycleClock, collect_now
 from repro.sim.errors import DeadlockError, PECrashed, PEFailure, SimulationError
 from repro.sim.events import EventQueue
+
+#: Candidate-key sentinel: this PE is not currently selectable.
+_NO_KEY = np.iinfo(np.int64).max
 
 
 class SchedulePolicy:
@@ -103,6 +132,76 @@ class _CrashUnwind(BaseException):
 _MAIN = -1  # sentinel "rank" for the coordinating main thread
 
 
+class WaitChannel:
+    """A notification channel gating blocked-predicate re-evaluation.
+
+    Layers that own waitable state (a conveyor group's quiescence, a PE's
+    inbound buffer list, a collective rendezvous) create one channel per
+    unit of state via :meth:`CoopScheduler.channel` and call
+    :meth:`notify` whenever that state changes in a way that could flip a
+    wait predicate — in either direction.  A PE that blocks with
+    ``channels=(ch, ...)`` is only re-examined after one of its channels
+    fires; missing a notification would make the indexed core diverge
+    from the linear oracle, which the differential tests and golden
+    archives guard.
+
+    ``notify`` is safe to call without the scheduler lock: only one PE
+    thread executes at a time (the baton invariant), and event actions —
+    the other mutation source — run under the lock inside selection.
+    """
+
+    __slots__ = ("_sched", "_waiters")
+
+    def __init__(self, sched: "CoopScheduler") -> None:
+        self._sched = sched
+        self._waiters: set[int] = set()
+
+    def notify(self) -> None:
+        """Mark every waiting PE's predicate dirty (cheap if none wait)."""
+        if self._waiters:
+            self._sched._dirty.update(self._waiters)
+
+
+@dataclass
+class SchedStats:
+    """Operation counters for the scheduler hot path (benchmark food)."""
+
+    selections: int = 0       # _select calls (every scheduling point)
+    handoffs: int = 0         # baton transfers to a different PE thread
+    yield_fast: int = 0       # yields resolved without a thread handoff
+    events_fired: int = 0     # event actions executed
+    event_batches: int = 0    # batched drains (indexed core)
+    pred_evals: int = 0       # blocked-predicate evaluations
+    wall_s: float = 0.0       # wall-clock seconds spent inside run()
+
+
+class _Baton:
+    """One-token thread parking primitive (a pre-acquired raw lock).
+
+    Semantically a ``threading.Event`` whose :meth:`wait` also consumes the
+    signal, but built on one uncontended lock acquire/release pair instead
+    of the Event/Condition machinery — the baton handoff is the scheduler's
+    per-context-switch floor, so the cheap primitive is worth having.
+    ``set`` is idempotent like ``Event.set`` (the abort broadcast in
+    ``_fail_locked`` may signal a PE the selection loop already woke).
+    """
+
+    __slots__ = ("_lock",)
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._lock.acquire()  # start unsignalled
+
+    def set(self) -> None:
+        try:
+            self._lock.release()
+        except RuntimeError:
+            pass  # already signalled
+
+    def wait(self) -> None:
+        self._lock.acquire()
+
+
 class _PERecord:
     __slots__ = (
         "rank",
@@ -112,16 +211,18 @@ class _PERecord:
         "wakeup_time",
         "reason",
         "thread",
+        "channels",
     )
 
     def __init__(self, rank: int) -> None:
         self.rank = rank
         self.state = PEState.NEW
-        self.wake = threading.Event()
+        self.wake = _Baton()
         self.predicate: Callable[[], bool] | None = None
         self.wakeup_time: int | None = None
         self.reason = ""
         self.thread: threading.Thread | None = None
+        self.channels: tuple[WaitChannel, ...] = ()
 
 
 class CoopScheduler:
@@ -131,25 +232,58 @@ class CoopScheduler:
     ----------
     n_pes:
         Number of simulated processing elements.
+    policy:
+        Tie-break / flush-order resolution; None means the default
+        (byte-identical to historical behaviour).
+    core:
+        ``"indexed"`` (default) selects via the numpy candidate-key
+        vector with channel-gated predicate re-evaluation; ``"linear"``
+        is the pre-index full scan, kept as the differential oracle and
+        benchmark baseline.  Overridable via ``ACTORPROF_SIM_CORE``.
 
     Notes
     -----
     The scheduler is single-use: construct one per simulation run.
     """
 
-    def __init__(self, n_pes: int, policy: SchedulePolicy | None = None) -> None:
+    def __init__(
+        self,
+        n_pes: int,
+        policy: SchedulePolicy | None = None,
+        core: str | None = None,
+    ) -> None:
         if n_pes <= 0:
             raise ValueError(f"need at least one PE, got {n_pes}")
+        if core is None:
+            core = os.environ.get("ACTORPROF_SIM_CORE", "indexed")
+        if core not in ("indexed", "linear"):
+            raise ValueError(
+                f"unknown scheduler core {core!r}; want 'indexed' or 'linear'"
+            )
         self.n_pes = n_pes
+        self.core = core
+        self._indexed = core == "indexed"
         self.policy: SchedulePolicy = policy if policy is not None else DEFAULT_POLICY
         self.clocks: list[CycleClock] = [CycleClock() for _ in range(n_pes)]
         self.events = EventQueue()
+        self.stats = SchedStats()
         self._pes = [_PERecord(r) for r in range(n_pes)]
         self._lock = threading.Lock()
         self._done = threading.Event()
         self._failure: PEFailure | None = None
         self._aborting = False
         self._started = False
+        # Indexed-core state.  _keys[r] is PE r's current candidate key
+        # (_NO_KEY when not selectable); _dirty holds ranks whose blocked
+        # predicate must be re-evaluated before the next selection;
+        # _always_dirty holds blocked ranks that gave no channels (the
+        # conservative fallback); _blocked_pred tracks every blocked rank
+        # with a predicate (event firings dirty them all).
+        self._keys = np.full(n_pes, _NO_KEY, dtype=np.int64)
+        self._dirty: set[int] = set()
+        self._always_dirty: set[int] = set()
+        self._blocked_pred: set[int] = set()
+        self._n_blocked = 0
         #: rank -> virtual crash time for PEs killed by injected faults.
         self.crashed: dict[int, int] = {}
         #: Optional callable appended to deadlock reports (the fault
@@ -169,6 +303,10 @@ class CoopScheduler:
         """Current virtual time of PE ``rank``."""
         return self.clocks[rank].now
 
+    def channel(self) -> WaitChannel:
+        """Create a :class:`WaitChannel` bound to this scheduler."""
+        return WaitChannel(self)
+
     def yield_pe(self, rank: int) -> None:
         """Offer the baton to any PE that is further behind in virtual time.
 
@@ -179,9 +317,14 @@ class CoopScheduler:
             self._check_abort()
             rec = self._pes[rank]
             rec.state = PEState.RUNNABLE
+            if self._indexed:
+                self._keys[rank] = self.clocks[rank].now
             nxt = self._select_locked()
             if nxt is rec:
                 rec.state = PEState.RUNNING
+                if self._indexed:
+                    self._keys[rank] = _NO_KEY
+                self.stats.yield_fast += 1
                 return
             # nxt can be None (everything else DONE) only when an event
             # fired during selection crashed this very PE; _sleep below
@@ -196,6 +339,7 @@ class CoopScheduler:
         predicate: Callable[[], bool] | None = None,
         wakeup_time: int | None = None,
         reason: str = "",
+        channels: Iterable[WaitChannel] = (),
     ) -> None:
         """Suspend PE ``rank`` until ``predicate()`` holds or ``wakeup_time``.
 
@@ -205,6 +349,12 @@ class CoopScheduler:
         advanced to ``wakeup_time``; when resumed because the predicate
         turned true, the clock is unchanged (the unblocking layer is
         responsible for arrival-time accounting).
+
+        ``channels`` names the :class:`WaitChannel` s covering every piece
+        of state the predicate reads that *other* PEs (or events) can
+        mutate; the indexed core then re-evaluates the predicate only when
+        one of them notifies.  An empty ``channels`` keeps the historical
+        conservative behaviour (re-evaluation at every handoff).
         """
         if predicate is None and wakeup_time is None:
             raise SimulationError(
@@ -218,6 +368,9 @@ class CoopScheduler:
             rec.predicate = predicate
             rec.wakeup_time = wakeup_time
             rec.reason = reason
+            self._n_blocked += 1
+            if self._indexed:
+                self._index_block_locked(rec, channels)
             nxt = self._select_locked()
             if nxt is rec:
                 self._resume_locked(rec)
@@ -243,16 +396,18 @@ class CoopScheduler:
         predicate: Callable[[], bool],
         wakeup_fn: Callable[[], int | None] | None = None,
         reason: str = "",
+        channels: Iterable[WaitChannel] = (),
     ) -> None:
         """Block repeatedly until ``predicate`` is true.
 
         ``wakeup_fn``, when given, supplies a timed fallback wakeup for each
         blocking round (e.g. the arrival time of the earliest in-flight
-        message).
+        message).  ``channels`` is forwarded to every :meth:`block` round.
         """
         while not predicate():
             wk = wakeup_fn() if wakeup_fn is not None else None
-            self.block(rank, predicate=predicate, wakeup_time=wk, reason=reason)
+            self.block(rank, predicate=predicate, wakeup_time=wk,
+                       reason=reason, channels=channels)
 
     def post(self, time: int, action: Callable[[], None]) -> None:
         """Schedule ``action`` to fire at virtual ``time``.
@@ -296,17 +451,22 @@ class CoopScheduler:
     ) -> None:
         """Event action: mark ``rank`` crashed (runs under the lock).
 
-        Event actions only ever fire inside :meth:`_select_locked`, at
-        which point no PE is RUNNING — the victim is RUNNABLE or BLOCKED,
-        i.e. its thread is parked in :meth:`_sleep`.  Setting its wake
-        event makes that thread resume, observe the CRASHED state, and
-        unwind via :class:`_CrashUnwind` without ever re-entering user
-        code; the selection loop simply skips it from now on.
+        Event actions only ever fire inside selection, at which point no
+        PE is RUNNING — the victim is RUNNABLE or BLOCKED, i.e. its
+        thread is parked in :meth:`_sleep`.  Setting its wake event makes
+        that thread resume, observe the CRASHED state, and unwind via
+        :class:`_CrashUnwind` without ever re-entering user code; the
+        selection loop simply skips it from now on.
         """
         rec = self._pes[rank]
         if rec.state in (PEState.DONE, PEState.FAILED, PEState.CRASHED):
             return  # finished (or already dead) before the crash landed
         self.clocks[rank].advance_to(at_cycle)
+        if rec.state is PEState.BLOCKED:
+            self._n_blocked -= 1
+        if self._indexed:
+            self._index_unblock_locked(rec)
+            self._keys[rank] = _NO_KEY
         rec.state = PEState.CRASHED
         rec.predicate = None
         rec.wakeup_time = None
@@ -320,15 +480,20 @@ class CoopScheduler:
     # Running the simulation
     # ------------------------------------------------------------------
 
-    def run(self, entry: Callable[[int], None]) -> None:
+    def run(self, entry: Callable[[int], None], join_timeout: float = 30.0) -> None:
         """Execute ``entry(rank)`` once per PE to completion.
 
         Raises :class:`PEFailure` if any PE's program raised, and
-        :class:`DeadlockError` if the simulation wedged.
+        :class:`DeadlockError` if the simulation wedged.  ``join_timeout``
+        bounds the *total* teardown wait for PE threads; threads still
+        alive afterwards are a leak and raise :class:`SimulationError`.
         """
         if self._started:
             raise SimulationError("CoopScheduler.run may only be called once")
         self._started = True
+        run_t0 = time.perf_counter()
+        if self._indexed:
+            self._keys[:] = collect_now(self.clocks)
         for rec in self._pes:
             rec.state = PEState.RUNNABLE
             rec.thread = threading.Thread(
@@ -344,17 +509,29 @@ class CoopScheduler:
         with self._lock:
             try:
                 nxt = self._select_locked()
-            except SimulationError as exc:  # pragma: no cover - defensive
+            except SimulationError as exc:
                 self._fail_locked(_MAIN, exc)
                 nxt = None
             if nxt is not None:
                 self._wake_locked(nxt)
         self._done.wait()
+        self.stats.wall_s = time.perf_counter() - run_t0
+        deadline = time.monotonic() + join_timeout
         for rec in self._pes:
             assert rec.thread is not None
-            rec.thread.join(timeout=30.0)
+            rec.thread.join(timeout=max(0.0, deadline - time.monotonic()))
         if self._failure is not None:
             raise self._failure
+        leaked = [rec.thread.name for rec in self._pes
+                  if rec.thread is not None and rec.thread.is_alive()]
+        if leaked:
+            shown = ", ".join(leaked[:8])
+            if len(leaked) > 8:
+                shown += f", ... ({len(leaked) - 8} more)"
+            raise SimulationError(
+                f"simulation ended but {len(leaked)} PE thread(s) failed to "
+                f"exit within {join_timeout:g}s: {shown}"
+            )
         if self.crashed:
             # The run completed around the dead PE(s); report the first
             # crash so callers know the result is degraded.  Traces
@@ -403,8 +580,7 @@ class CoopScheduler:
 
     def _sleep(self, rank: int) -> None:
         rec = self._pes[rank]
-        rec.wake.wait()
-        rec.wake.clear()
+        rec.wake.wait()  # consumes the signal
         if rec.state is PEState.CRASHED:
             raise _CrashUnwind()
         if self._aborting and rec.state is not PEState.RUNNING:
@@ -416,22 +592,127 @@ class CoopScheduler:
 
     def _wake_locked(self, rec: _PERecord) -> None:
         self._resume_locked(rec)
+        self.stats.handoffs += 1
         rec.wake.set()
 
     def _resume_locked(self, rec: _PERecord) -> None:
-        """Transition a selected PE to RUNNING, applying timed-wakeup time."""
-        if rec.state is PEState.BLOCKED and rec.wakeup_time is not None:
-            pred_ok = rec.predicate is not None and self._safe_pred(rec)
-            if not pred_ok:
-                self.clocks[rec.rank].advance_to(rec.wakeup_time)
+        """Transition a selected PE to RUNNING, applying timed-wakeup time.
+
+        A blocked PE whose predicate is (still) true resumes with its
+        clock **unchanged** even when a timed wakeup was set — the
+        unblocking layer owns arrival accounting; only a pure timed
+        wakeup advances the clock.
+        """
+        if rec.state is PEState.BLOCKED:
+            if rec.wakeup_time is not None:
+                pred_ok = rec.predicate is not None and self._safe_pred(rec)
+                if not pred_ok:
+                    self.clocks[rec.rank].advance_to(rec.wakeup_time)
+            self._n_blocked -= 1
+            if self._indexed:
+                self._index_unblock_locked(rec)
         rec.state = PEState.RUNNING
         rec.predicate = None
         rec.wakeup_time = None
         rec.reason = ""
+        if self._indexed:
+            self._keys[rec.rank] = _NO_KEY
 
     def _safe_pred(self, rec: _PERecord) -> bool:
         assert rec.predicate is not None
+        self.stats.pred_evals += 1
         return bool(rec.predicate())
+
+    # --- indexed-core bookkeeping ---------------------------------------
+
+    def _index_block_locked(
+        self, rec: _PERecord, channels: Iterable[WaitChannel]
+    ) -> None:
+        """Register a freshly blocked PE with the candidate index."""
+        rank = rec.rank
+        if rec.predicate is not None:
+            self._blocked_pred.add(rank)
+            chans = tuple(channels)
+            if chans:
+                rec.channels = chans
+                for ch in chans:
+                    ch._waiters.add(rank)
+                now = self.clocks[rank].now
+                if self._safe_pred(rec):
+                    self._keys[rank] = now
+                elif rec.wakeup_time is not None:
+                    w = rec.wakeup_time
+                    self._keys[rank] = now if now > w else w
+                else:
+                    self._keys[rank] = _NO_KEY
+            else:
+                # No channels: conservative fallback.  The refresh at the
+                # top of every selection computes the key.
+                self._always_dirty.add(rank)
+                self._keys[rank] = _NO_KEY
+        else:
+            now = self.clocks[rank].now
+            w = rec.wakeup_time
+            assert w is not None  # enforced by block()
+            self._keys[rank] = now if now > w else w
+
+    def _index_unblock_locked(self, rec: _PERecord) -> None:
+        """Deregister a PE leaving the BLOCKED state from the index."""
+        rank = rec.rank
+        if rec.channels:
+            for ch in rec.channels:
+                ch._waiters.discard(rank)
+            rec.channels = ()
+        self._blocked_pred.discard(rank)
+        self._always_dirty.discard(rank)
+        self._dirty.discard(rank)
+
+    def _refresh_dirty_locked(self) -> None:
+        """Re-evaluate dirtied blocked predicates and update their keys."""
+        if self._dirty:
+            ranks = self._dirty
+            if self._always_dirty:
+                ranks = ranks | self._always_dirty
+            self._dirty = set()
+        elif self._always_dirty:
+            ranks = self._always_dirty
+        else:
+            return
+        keys = self._keys
+        for rank in ranks:
+            rec = self._pes[rank]
+            if rec.state is not PEState.BLOCKED or rec.predicate is None:
+                continue
+            now = self.clocks[rank].now
+            if self._safe_pred(rec):
+                keys[rank] = now
+            elif rec.wakeup_time is not None:
+                w = rec.wakeup_time
+                keys[rank] = now if now > w else w
+            else:
+                keys[rank] = _NO_KEY
+
+    def _fire_due_locked(self, ev_time: int) -> None:
+        """Batched event drain: fire every event due at ``ev_time``.
+
+        Events an action posts *at the same cycle* join the same drain
+        (the repeated :meth:`~repro.sim.events.EventQueue.pop_due`);
+        later-cycle events wait for the next selection pass, preserving
+        the events-fire-strictly-before-candidates rule across
+        timestamps.  Actions are arbitrary mutations, so every blocked
+        predicate is dirtied afterwards.
+        """
+        self.stats.event_batches += 1
+        batch = self.events.pop_due(ev_time)
+        while batch:
+            for ev in batch:
+                ev.action()
+                self.stats.events_fired += 1
+            batch = self.events.pop_due(ev_time)
+        if self._blocked_pred:
+            self._dirty.update(self._blocked_pred)
+
+    # --- selection ------------------------------------------------------
 
     def _select_locked(self) -> _PERecord | None:
         """Pick the next PE to run; fire due events as needed.
@@ -440,6 +721,42 @@ class CoopScheduler:
         event is signalled).  Raises :class:`DeadlockError` when blocked
         PEs remain but nothing can make progress.
         """
+        self.stats.selections += 1
+        if self._indexed:
+            return self._select_indexed_locked()
+        return self._select_linear_locked()
+
+    def _select_indexed_locked(self) -> _PERecord | None:
+        keys = self._keys
+        while True:
+            if self._dirty or self._always_dirty:
+                self._refresh_dirty_locked()
+            best = int(np.argmin(keys))  # position of the FIRST minimum
+            m = int(keys[best])
+            ev_time = self.events.next_time()
+            if ev_time is not None and (m == _NO_KEY or ev_time < m):
+                self._fire_due_locked(ev_time)
+                continue  # re-examine: actions may have changed the world
+            if m != _NO_KEY:
+                if int(np.count_nonzero(keys == m)) == 1:
+                    return self._pes[best]
+                ranks = [int(r) for r in np.flatnonzero(keys == m)]
+                chosen = self.policy.tie_break(m, ranks)
+                for r in ranks:
+                    if r == chosen:
+                        return self._pes[r]
+                raise SimulationError(
+                    f"schedule policy {self.policy!r} picked PE {chosen}, "
+                    f"which is not among the tied candidates {ranks}"
+                )
+            if self._n_blocked:
+                raise DeadlockError(self._deadlock_report_locked())
+            # No runnable, no blocked, no events: everything is DONE/FAILED.
+            self._done.set()
+            return None
+
+    def _select_linear_locked(self) -> _PERecord | None:
+        """The pre-index selection loop, byte-for-byte (oracle/baseline)."""
         while True:
             best_time: int | None = None
             tied: list[_PERecord] = []  # candidates at best_time, rank-ascending
@@ -466,6 +783,7 @@ class CoopScheduler:
                 ev = self.events.pop_next()
                 assert ev is not None
                 ev.action()
+                self.stats.events_fired += 1
                 continue  # re-evaluate: the action may have changed the world
             if tied:
                 if len(tied) == 1:
@@ -490,9 +808,12 @@ class CoopScheduler:
         lines = ["simulation deadlocked; per-PE wait state:"]
         for rec in self._pes:
             if rec.state is PEState.BLOCKED:
+                desc = rec.reason or "no reason"
+                if rec.wakeup_time is not None:
+                    desc += f"; timed wakeup at cycle {rec.wakeup_time}"
                 lines.append(
                     f"  PE {rec.rank}: blocked at cycle "
-                    f"{self.clocks[rec.rank].now} ({rec.reason or 'no reason'})"
+                    f"{self.clocks[rec.rank].now} ({desc})"
                 )
             elif rec.state is PEState.CRASHED:
                 lines.append(
@@ -501,6 +822,11 @@ class CoopScheduler:
                 )
             else:
                 lines.append(f"  PE {rec.rank}: {rec.state.value}")
+        ev_time = self.events.next_time()
+        if ev_time is not None:
+            lines.append(f"  earliest pending event: cycle {ev_time}")
+        else:
+            lines.append("  pending events: none")
         if self.fault_context is not None:
             lines.append(self.fault_context())
         return "\n".join(lines)
@@ -510,7 +836,9 @@ class CoopScheduler:
             tb = "".join(
                 traceback.format_exception(type(exc), exc, exc.__traceback__)
             )
-            failure = PEFailure(max(rank, 0), f"{exc!r}\n{tb}")
+            # rank < 0 is the coordinating main thread (_MAIN), not a PE;
+            # PEFailure labels it accordingly instead of blaming PE 0.
+            failure = PEFailure(rank, f"{exc!r}\n{tb}")
             failure.__cause__ = exc
             self._failure = failure
         self._aborting = True
