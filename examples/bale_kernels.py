@@ -22,7 +22,7 @@ from repro.apps import (
     transpose,
 )
 from repro.core.analysis import OverallSummary, aggregate_to_nodes
-from repro.core.query import run_query
+from repro.core.query import query_trace
 
 MACHINE = MachineSpec.perlmutter_like(2, 8)
 
@@ -74,9 +74,9 @@ def main() -> None:
         "sends where src_node != dst_node",
         "sends where src == dst",
     ):
-        print(f"  logical: {q}  →  {run_query(ap.logical, q)}")
+        print(f"  logical: {q}  →  {query_trace(ap.logical, q)}")
     print(f"  physical: bytes where kind == nonblock_send  →  "
-          f"{run_query(ap.physical, 'bytes where kind == nonblock_send'):,}")
+          f"{query_trace(ap.physical, 'bytes where kind == nonblock_send'):,}")
 
     node_m = aggregate_to_nodes(ap.physical.matrix(), MACHINE)
     print(f"\nnode-level physical hotspot matrix (ops):\n{node_m}")

@@ -3,26 +3,33 @@
 
 The paper's Section IV narrative, tool-driven: profile the naive run, let
 ActorProf's analysis point at the problem, apply the suggested fix, and
-verify the improvement with a run comparison.
+verify the improvement with a run comparison — archives and the
+:mod:`repro.api` facade doing the query/diff/viz work.
 
 Run:  python examples/bottleneck_hunt.py
 """
 
+import tempfile
+from pathlib import Path
+
+import repro.api as api
 from repro import ActorProf, MachineSpec, ProfileFlags
 from repro.apps.triangle import count_triangles
-from repro.core.diffing import LogicalDiff, OverallDiff, PhysicalDiff, compare_report
 from repro.core.hotspots import advise, balance_model, find_stragglers, top_pairs
-from repro.core.query import run_query
 from repro.graphs import LowerTriangular, graph500_input
 
 MACHINE = MachineSpec.perlmutter_like(2, 8)
 SCALE = 9
 
 
-def profile(graph, distribution):
-    ap = ActorProf(ProfileFlags.all(papi_sample_interval=64))
+def profile(graph, distribution, archive_dir):
+    ap = ActorProf(ProfileFlags.all(papi_sample_interval=64,
+                                    enable_timeline=True))
     res = count_triangles(graph, MACHINE, distribution, profiler=ap)
-    return ap, res
+    path = Path(archive_dir) / f"triangle_{distribution}.aptrc"
+    ap.export_archive(path, meta={"workload": "triangle",
+                                  "distribution": distribution}, lod=True)
+    return ap, res, path
 
 
 def main() -> None:
@@ -31,43 +38,45 @@ def main() -> None:
           f"({graph.n_vertices} vertices, {graph.nnz} edges) on "
           f"{MACHINE.nodes}x{MACHINE.pes_per_node} PEs\n")
 
-    # ---- step 1: profile the naive (cyclic) run -----------------------
-    print("step 1: profile the naive 1D Cyclic run")
-    ap_c, res_c = profile(graph, "cyclic")
-    model = balance_model(ap_c.overall)
-    print(f"  T_TOTAL(max) = {model.t_actual:,} cycles; "
-          f"dominant region: {model.dominant_region}")
+    with tempfile.TemporaryDirectory() as tmp:
+        # ---- step 1: profile the naive (cyclic) run -----------------------
+        print("step 1: profile the naive 1D Cyclic run")
+        ap_c, res_c, path_c = profile(graph, "cyclic", tmp)
+        model = balance_model(ap_c.overall)
+        print(f"  T_TOTAL(max) = {model.t_actual:,} cycles; "
+              f"dominant region: {model.dominant_region}")
 
-    # ---- step 2: ask ActorProf where the problem is --------------------
-    print("\nstep 2: ActorProf's analysis")
-    for straggler in find_stragglers(ap_c.logical.sends_per_pe())[:3]:
-        print(f"  straggler: PE{straggler.pe} sends "
-              f"{straggler.ratio_to_mean:.1f}x the mean")
-    for pair in top_pairs(ap_c.logical, 3):
-        print(f"  hot pair: PE{pair.src} → PE{pair.dst} "
-              f"({pair.share:.1%} of all traffic)")
-    print(f"  query: sends where src == 0 → "
-          f"{run_query(ap_c.logical, 'sends where src == 0'):,} "
-          f"(of {ap_c.logical.total_sends():,})")
-    print("  advice:")
-    for tip in advise(ap_c.overall, ap_c.logical):
-        print(f"    - {tip}")
-    print(f"  model: perfect balance would be "
-          f"~{model.potential_speedup:.1f}x faster")
+        # ---- step 2: ask ActorProf where the problem is --------------------
+        print("\nstep 2: ActorProf's analysis")
+        for straggler in find_stragglers(ap_c.logical.sends_per_pe())[:3]:
+            print(f"  straggler: PE{straggler.pe} sends "
+                  f"{straggler.ratio_to_mean:.1f}x the mean")
+        for pair in top_pairs(ap_c.logical, 3):
+            print(f"  hot pair: PE{pair.src} → PE{pair.dst} "
+                  f"({pair.share:.1%} of all traffic)")
+        with api.open_run(path_c) as run_c:
+            print(f"  query: sends where src == 0 → "
+                  f"{run_c.query('sends where src == 0'):,} "
+                  f"(of {ap_c.logical.total_sends():,})")
+        print("  advice:")
+        for tip in advise(ap_c.overall, ap_c.logical):
+            print(f"    - {tip}")
+        print(f"  model: perfect balance would be "
+              f"~{model.potential_speedup:.1f}x faster")
 
-    # ---- step 3: follow the advice (switch distributions) ---------------
-    print("\nstep 3: apply the suggested fix — 1D Range distribution")
-    ap_r, res_r = profile(graph, "range")
-    assert res_r.triangles == res_c.triangles  # same answer, of course
+        # ---- step 3: follow the advice (switch distributions) ---------------
+        print("\nstep 3: apply the suggested fix — 1D Range distribution")
+        ap_r, res_r, path_r = profile(graph, "range", tmp)
+        assert res_r.triangles == res_c.triangles  # same answer, of course
 
-    # ---- step 4: verify with a run comparison ---------------------------
-    print("\nstep 4: verify\n")
-    print(compare_report(
-        "1D Cyclic", "1D Range",
-        logical=LogicalDiff.of(ap_c.logical, ap_r.logical),
-        overall=OverallDiff.of(ap_c.overall, ap_r.overall),
-        physical=PhysicalDiff.of(ap_c.physical, ap_r.physical),
-    ))
+        # ---- step 4: verify with a run comparison ---------------------------
+        print("\nstep 4: verify\n")
+        with api.open_run(path_c) as run_c:
+            print(run_c.diff(path_r, label_a="1D Cyclic",
+                             label_b="1D Range"))
+            gantt = run_c.viz("gantt")
+        print(f"\n(a per-PE LOD gantt of the cyclic run is one call away: "
+              f"run.viz('gantt') → {len(gantt):,} bytes of SVG)")
     new_model = balance_model(ap_r.overall)
     print(f"\nachieved speedup: "
           f"{model.t_actual / new_model.t_actual:.1f}x; remaining balance "

@@ -33,7 +33,7 @@ from repro.core.overall import OverallProfile, parse_overall_file
 from repro.core.papi_trace import PAPITrace, parse_papi_dir
 from repro.core.physical import PhysicalTrace, parse_physical_file
 from repro.core.profiler import ActorProf
-from repro.core.query import run_query
+from repro.core.query import query_trace, run_query
 from repro.core.store import (
     Archive,
     ArchiveWriter,
@@ -68,6 +68,7 @@ __all__ = [
     "advise",
     "balance_model",
     "find_stragglers",
+    "query_trace",
     "run_query",
     "top_pairs",
 ]

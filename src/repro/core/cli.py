@@ -79,6 +79,25 @@ from repro.core.viz.stacked import stacked_bar_graph
 from repro.core.viz.violin import violin_svg
 
 
+class _DeprecatedFlag(argparse.Action):
+    """A hidden alias for a renamed flag.
+
+    Stores into the canonical destination and prints a one-line
+    deprecation note, so old spellings (``--export-archive``,
+    ``--report``) keep working while every subcommand documents the
+    normalized names (``--out``, ``--jobs``, ``--cache``).
+    """
+
+    def __init__(self, *args, canonical: str = "--out", **kwargs) -> None:
+        self.canonical = canonical
+        super().__init__(*args, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print(f"note: {option_string} is deprecated; use {self.canonical}",
+              file=sys.stderr)
+        setattr(namespace, self.dest, values)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="actorprof",
@@ -148,6 +167,10 @@ def main(argv: list[str] | None = None) -> int:
         return _serve_main(argv[1:])
     if argv and argv[0] == "push":
         return _push_main(argv[1:])
+    if argv and argv[0] == "query":
+        return _query_main(argv[1:])
+    if argv and argv[0] == "viz":
+        return _viz_main(argv[1:])
     args = build_parser().parse_args(argv)
     if not (args.logical or args.papi or args.overall or args.physical
             or args.timeline or args.query or args.export_archive):
@@ -206,6 +229,13 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _render(args, archive, out, emitted, say) -> int:
+    def dir_machine_spec():
+        """The machine spec from the logical trace, if one is present."""
+        try:
+            return parse_logical_dir(args.trace_dir, args.num_pes).spec
+        except (FileNotFoundError, ValueError):
+            return None
+
     def load(kind):
         """Load one trace kind from the archive or the text directory."""
         if archive is not None:
@@ -217,7 +247,8 @@ def _render(args, archive, out, emitted, say) -> int:
             }[kind](archive)
         return {
             "logical": lambda: parse_logical_dir(args.trace_dir, args.num_pes),
-            "physical": lambda: parse_physical_file(args.trace_dir, args.num_pes),
+            "physical": lambda: parse_physical_file(
+                args.trace_dir, args.num_pes, spec=dir_machine_spec()),
             "papi": lambda: parse_papi_dir(args.trace_dir, args.num_pes),
             "overall": lambda: parse_overall_file(args.trace_dir),
         }[kind]()
@@ -315,7 +346,7 @@ def _render(args, archive, out, emitted, say) -> int:
                              logical_d, overall_d, physical_d))
 
     if args.query:
-        from repro.core.query import QueryError, run_query
+        from repro.core.query import QueryError, query_trace
 
         for spec_text in args.query:
             target, _, expr = spec_text.partition(":")
@@ -328,7 +359,7 @@ def _render(args, archive, out, emitted, say) -> int:
             try:
                 if archive is not None:
                     # column-pruned evaluation straight off the archive
-                    result = run_query(archive.section(target), expr)
+                    result = query_trace(archive.section(target), expr)
                 else:
                     if target == "logical":
                         trace = parse_logical_dir(args.trace_dir, args.num_pes)
@@ -343,7 +374,7 @@ def _render(args, archive, out, emitted, say) -> int:
                             pass
                         trace = parse_physical_file(
                             args.trace_dir, args.num_pes, spec=spec)
-                    result = run_query(trace, expr)
+                    result = query_trace(trace, expr)
             except (QueryError, FileNotFoundError, ValueError,
                     ArchiveError) as exc:
                 print(f"query failed: {exc}", file=sys.stderr)
@@ -473,6 +504,22 @@ def _runs_main(argv: list[str]) -> int:
                     print(f"section {name}: {section.rows:,} rows in "
                           f"{section.n_chunks} chunks, "
                           f"columns {', '.join(section.columns)}, {stats}")
+                # LOD pyramid summary; pyramid_info returns None (never
+                # raises) for pre-pyramid or malformed archives
+                from repro.core.store.lod import pyramid_info
+
+                lod = pyramid_info(archive)
+                if lod is None:
+                    print("lod pyramid: none (backfill with "
+                          "'actorprof viz RUN --backfill')")
+                else:
+                    widths = "/".join(str(w) for w in lod.widths)
+                    buckets = "/".join(str(b) for b in lod.buckets)
+                    shape = ("time-resolved" if lod.time_resolved
+                             else "flat (no timeline)")
+                    print(f"lod pyramid: {lod.levels} level(s), {shape}, "
+                          f"widths {widths}, buckets {buckets}, "
+                          f"horizon {lod.horizon:,} cycles")
             return 0
         if args.command == "add":
             info = registry.add(args.archive, run_id=args.id)
@@ -606,12 +653,15 @@ def _run_parser() -> argparse.ArgumentParser:
                         metavar="PLAN.json",
                         help="inject the faults described in this plan "
                              "(see 'actorprof faults')")
-    parser.add_argument("-o", "--export-archive", type=Path, default=None,
-                        metavar="PATH",
+    parser.add_argument("-o", "--out", dest="export_archive", type=Path,
+                        default=None, metavar="PATH",
                         help="archive the run's traces to PATH (.aptrc); "
                              "required to salvage a failing run; with "
                              "--sweep, PATH is a directory that receives "
                              "one APP-TAG.aptrc per sweep point")
+    parser.add_argument("--export-archive", dest="export_archive", type=Path,
+                        action=_DeprecatedFlag, canonical="--out",
+                        help=argparse.SUPPRESS)
     parser.add_argument("--sweep", action="append", default=[],
                         metavar="PARAM=V1,V2,...",
                         help="sweep a parameter over several values "
@@ -768,7 +818,11 @@ def _run_main(argv: list[str]) -> int:
             print(f"fault plan does not fit this machine: {exc}",
                   file=sys.stderr)
             return 2
-    profiler = ActorProf()
+    from repro.core.flags import ProfileFlags
+
+    # the timeline feeds the LOD pyramid, so `actorprof viz` gets
+    # time-resolved (zoomable) views of archives made by `actorprof run`
+    profiler = ActorProf(ProfileFlags.all(enable_timeline=True))
     meta = {"app": args.app, "seed": args.seed}
     if plan is not None:
         meta["fault_plan"] = plan.to_dict()
@@ -804,7 +858,8 @@ def _run_main(argv: list[str]) -> int:
         print(f"{summary} on {spec.nodes}x{spec.pes_per_node} PEs "
               f"(seed {args.seed})")
         if args.export_archive is not None:
-            path = profiler.export_archive(args.export_archive, meta=meta)
+            path = profiler.export_archive(args.export_archive, meta=meta,
+                                           lod=True)
             print(f"archived traces → {path} ({path.stat().st_size:,} bytes)")
         return 0
     first_line = str(failure).splitlines()[0]
@@ -816,7 +871,7 @@ def _run_main(argv: list[str]) -> int:
         return 1
     try:
         path = profiler.salvage_archive(args.export_archive, failure=failure,
-                                        meta=meta)
+                                        meta=meta, lod=True)
     except (ValueError, OSError) as exc:
         print(f"salvage failed: {exc}", file=sys.stderr)
         return 1
@@ -869,9 +924,13 @@ def _check_parser() -> argparse.ArgumentParser:
                         metavar="PLAN.json",
                         help="audit under a non-fatal fault plan (drop/"
                              "delay/duplicate/slow; crashes are rejected)")
-    parser.add_argument("--report", type=Path, default=None, metavar="PATH",
+    parser.add_argument("--out", dest="report", type=Path, default=None,
+                        metavar="PATH",
                         help="write the machine-readable JSON verdict(s) "
                              "to PATH")
+    parser.add_argument("--report", dest="report", type=Path,
+                        action=_DeprecatedFlag, canonical="--out",
+                        help=argparse.SUPPRESS)
     parser.add_argument("--keep-archives", type=Path, default=None,
                         metavar="DIR",
                         help="keep every schedule's .aptrc archive in DIR "
@@ -1050,8 +1109,12 @@ def _whatif_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache", type=Path, default=None, metavar="DIR",
                         help="result cache directory for replay points "
                              "(keys include the scale factors)")
-    parser.add_argument("--report", type=Path, default=None, metavar="PATH",
+    parser.add_argument("--out", dest="report", type=Path, default=None,
+                        metavar="PATH",
                         help="write the machine-readable JSON report to PATH")
+    parser.add_argument("--report", dest="report", type=Path,
+                        action=_DeprecatedFlag, canonical="--out",
+                        help=argparse.SUPPRESS)
     parser.add_argument("--keep-archives", type=Path, default=None,
                         metavar="DIR",
                         help="keep the baseline and per-point .aptrc "
@@ -1070,9 +1133,10 @@ def _whatif_main(argv: list[str]) -> int:
         TriangleWorkload,
         generate_spec,
     )
+    import repro.api as api
     from repro.core.report import whatif_report
     from repro.machine.spec import MachineSpec
-    from repro.whatif import Scales, parse_sweep, run_whatif
+    from repro.whatif import Scales, parse_sweep
 
     args = _whatif_parser().parse_args(argv)
     if args.jobs < 1:
@@ -1118,7 +1182,7 @@ def _whatif_main(argv: list[str]) -> int:
             seed=args.seed, name=f"generated-{args.program}",
         )
     try:
-        report = run_whatif(
+        report = api.whatif(
             workload,
             scale_sets=scale_sets,
             sweeps=sweeps,
@@ -1326,18 +1390,141 @@ def _resolve_run(ref: str, registry_root: Path | None) -> Path:
 
 
 def _diff_main(argv: list[str]) -> int:
-    from repro.core.diffing import diff_runs
+    import repro.api as api
 
     args = _diff_parser().parse_args(argv)
     try:
         path_a = _resolve_run(args.run_a, args.registry)
         path_b = _resolve_run(args.run_b, args.registry)
-        report = diff_runs(path_a, path_b, n_pes=args.num_pes,
-                           label_a=args.run_a, label_b=args.run_b)
+        report = api.diff(path_a, path_b, n_pes=args.num_pes,
+                          label_a=args.run_a, label_b=args.run_b)
     except (FileNotFoundError, ValueError) as exc:
         print(f"diff failed: {exc}", file=sys.stderr)
         return 2
     print(report)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# `actorprof query` — one declarative query against a stored run
+# ----------------------------------------------------------------------
+
+def _query_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="actorprof query",
+        description="evaluate one declarative trace query against a "
+                    "stored run (archive path or registered run id)",
+    )
+    parser.add_argument("run", help=".aptrc archive or registered run id")
+    parser.add_argument("expr", help="query text, e.g. "
+                                     "'sends where src == 0 group by dst'")
+    parser.add_argument("--section", default="logical",
+                        choices=("logical", "physical"),
+                        help="which trace section to query (default logical)")
+    parser.add_argument("--registry", type=Path, default=None,
+                        help="registry to resolve run ids against (default: "
+                             "$ACTORPROF_RUNS or ~/.actorprof/runs)")
+    return parser
+
+
+def _query_main(argv: list[str]) -> int:
+    import repro.api as api
+    from repro.core.query import QueryError
+    from repro.core.store.registry import RegistryError
+
+    args = _query_parser().parse_args(argv)
+    try:
+        with api.open_run(args.run, registry=args.registry) as run:
+            result = run.query(args.expr, section=args.section)
+    except (QueryError, ArchiveError, RegistryError, FileNotFoundError,
+            KeyError, ValueError) as exc:
+        print(f"query failed: {exc}", file=sys.stderr)
+        return 2
+    if isinstance(result, list):
+        for key, amount in result:
+            print(f"{key}: {amount:,}")
+    else:
+        print(f"{result:,}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# `actorprof viz` — LOD-pyramid views and the pan/zoom HTML page
+# ----------------------------------------------------------------------
+
+def _viz_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="actorprof viz",
+        description="render LOD-pyramid views (gantt, heatmap, timeline) "
+                    "of a stored run into a standalone HTML page; with "
+                    "--server the page pans/zooms against a live "
+                    "'actorprof serve' instance's /runs/{id}/viz endpoints",
+    )
+    parser.add_argument("run", help=".aptrc archive or registered run id")
+    parser.add_argument("--view", action="append", default=[],
+                        choices=("gantt", "heatmap", "timeline"),
+                        help="which view(s) to render (repeatable; "
+                             "default: all three)")
+    parser.add_argument("--out", type=Path, default=None, metavar="PATH",
+                        help="output HTML path (default: RUN_viz.html "
+                             "next to the archive)")
+    parser.add_argument("--t0", type=int, default=None,
+                        help="viewport start, cycles (default 0)")
+    parser.add_argument("--t1", type=int, default=None,
+                        help="viewport end, cycles (default: run horizon)")
+    parser.add_argument("--res", type=int, default=None,
+                        help="viewport resolution in buckets (default: "
+                             "per-view; gantt 96, heatmap 16, timeline 120)")
+    parser.add_argument("--server", default=None, metavar="URL",
+                        help="base URL of a running 'actorprof serve' "
+                             "(e.g. http://127.0.0.1:8750); embeds live "
+                             "pan/zoom controls in the HTML")
+    parser.add_argument("--backfill", action="store_true",
+                        help="first backfill LOD pyramid sections into the "
+                             "archive in place (no-op if already present)")
+    parser.add_argument("--registry", type=Path, default=None,
+                        help="registry to resolve run ids against (default: "
+                             "$ACTORPROF_RUNS or ~/.actorprof/runs)")
+    return parser
+
+
+def _viz_main(argv: list[str]) -> int:
+    import repro.api as api
+    from repro.core.lod import DEFAULT_RES, LodError
+    from repro.core.store.registry import RegistryError
+    from repro.core.viz.lodviews import viz_html
+
+    args = _viz_parser().parse_args(argv)
+    if args.res is not None and args.res < 1:
+        print(f"--res must be >= 1: {args.res}", file=sys.stderr)
+        return 2
+    views = list(dict.fromkeys(args.view)) or ["gantt", "heatmap",
+                                               "timeline"]
+    try:
+        path, run_id = api._resolve(args.run, args.registry)
+        if args.backfill:
+            from repro.core.store.lod import backfill_pyramid
+
+            backfill_pyramid(path)
+            print(f"backfilled LOD pyramid into {path}")
+        rendered = {}
+        with api.open_run(path) as run:
+            for view in views:
+                rendered[view] = run.viz(view, t0=args.t0, t1=args.t1,
+                                         res=args.res)
+            horizon = run.lod().horizon
+        res = ({v: args.res for v in views} if args.res is not None
+               else {v: DEFAULT_RES[v] for v in views})
+        page = viz_html(rendered, run_label=run_id, horizon=horizon,
+                        server=args.server, run_id=run_id, res=res)
+    except (LodError, ArchiveError, RegistryError, FileNotFoundError,
+            ValueError, OSError) as exc:
+        print(f"viz failed: {exc}", file=sys.stderr)
+        return 2
+    out = args.out or path.with_name(f"{run_id}_viz.html")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(page)
+    print(f"wrote {out} ({len(views)} view(s), horizon {horizon:,} cycles)")
     return 0
 
 

@@ -244,7 +244,7 @@ def _logical_matrix(section: Section, n_pes: int) -> np.ndarray:
                           frame.column("count"), (n_pes, n_pes))
 
 
-def diff_archives(
+def _diff_archives(
     path_a: str | Path,
     path_b: str | Path,
     label_a: str | None = None,
@@ -279,7 +279,7 @@ def diff_archives(
         )
 
 
-def diff_runs(
+def _diff_runs(
     path_a: str | Path,
     path_b: str | Path,
     n_pes: int | None = None,
@@ -290,11 +290,15 @@ def diff_runs(
 
     Each path may be a trace directory or a ``.aptrc`` archive; only the
     trace kinds present in *both* runs are compared.  Two archives are
-    diffed column-wise via :func:`diff_archives`; directories (or a
+    diffed column-wise via :func:`_diff_archives`; directories (or a
     mixed pair) go through full trace loading.
+
+    The supported entry points are :func:`repro.api.diff` and
+    :meth:`repro.api.Run.diff`; :func:`diff_runs` / :func:`diff_archives`
+    are the deprecated legacy spellings.
     """
     if is_archive(path_a) and is_archive(path_b):
-        return diff_archives(path_a, path_b, label_a, label_b)
+        return _diff_archives(path_a, path_b, label_a, label_b)
     a = load_traces(path_a, n_pes)
     b = load_traces(path_b, n_pes)
     logical = (LogicalDiff.of(a.logical, b.logical)
@@ -310,3 +314,36 @@ def diff_runs(
         overall=overall,
         physical=physical,
     )
+
+
+def _deprecated(old: str) -> None:
+    import warnings
+
+    warnings.warn(
+        f"{old}() is deprecated; use repro.api.diff() or "
+        "repro.api.open_run(...).diff()",
+        DeprecationWarning, stacklevel=3,
+    )
+
+
+def diff_archives(
+    path_a: str | Path,
+    path_b: str | Path,
+    label_a: str | None = None,
+    label_b: str | None = None,
+) -> str:
+    """Deprecated alias; use :func:`repro.api.diff`."""
+    _deprecated("diff_archives")
+    return _diff_archives(path_a, path_b, label_a, label_b)
+
+
+def diff_runs(
+    path_a: str | Path,
+    path_b: str | Path,
+    n_pes: int | None = None,
+    label_a: str | None = None,
+    label_b: str | None = None,
+) -> str:
+    """Deprecated alias; use :func:`repro.api.diff`."""
+    _deprecated("diff_runs")
+    return _diff_runs(path_a, path_b, n_pes, label_a, label_b)

@@ -277,11 +277,15 @@ class ActorProf:
         return written
 
     def export_archive(self, path: str | Path,
-                       meta: dict | None = None) -> Path:
+                       meta: dict | None = None, *,
+                       lod: bool = False) -> Path:
         """Write every enabled trace into one ``.aptrc`` archive.
 
         The compact binary alternative to :meth:`write_traces`; ``meta``
         entries (app name, scale, …) land in the archive footer.
+        ``lod=True`` also stores the level-of-detail summary pyramid
+        (time-resolved when the timeline was enabled); the default stays
+        off so existing export bytes are unchanged.
         """
         from repro.core.store import export_run
 
@@ -293,7 +297,9 @@ class ActorProf:
             physical=self.physical,
             papi=self.papi_trace,
             overall=self.overall,
+            timeline=self.timeline,
             meta=full_meta,
+            lod=lod,
         )
 
     def _degraded_meta(self, failure: BaseException | None) -> dict:
@@ -314,7 +320,7 @@ class ActorProf:
         return degraded
 
     def salvage_archive(self, path: str | Path, failure: BaseException | None = None,
-                        meta: dict | None = None) -> Path:
+                        meta: dict | None = None, *, lod: bool = False) -> Path:
         """Export whatever was traced before a failed run into ``path``.
 
         The graceful-degradation path: when the profiled run raised
@@ -327,4 +333,4 @@ class ActorProf:
         """
         degraded = self._degraded_meta(failure)
         degraded.update(meta or {})
-        return self.export_archive(path, meta=degraded)
+        return self.export_archive(path, meta=degraded, lod=lod)

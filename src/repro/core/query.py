@@ -54,7 +54,7 @@ groups that cannot match the conditions, and un-predicated aggregates
 are answered from footer sums with zero payload decode::
 
     with Archive("run.aptrc") as a:
-        run_query(a.section("logical"), "sends where src == 0 group by dst")
+        query_trace(a.section("logical"), "sends where src == 0 group by dst")
 
 Pass ``pushdown=False`` to force the full-decode path (identical
 results; used by the differential tests and benchmarks).
@@ -423,8 +423,8 @@ def _archive_eval(section: Section, q: Query, pushdown: bool = True):
     return ranked[: q.top] if q.top is not None else ranked
 
 
-def run_query(trace: LogicalTrace | PhysicalTrace | Section, text: str,
-              *, pushdown: bool = True):
+def query_trace(trace: LogicalTrace | PhysicalTrace | Section, text: str,
+                *, pushdown: bool = True):
     """Evaluate ``text`` over a trace (or an archive section).
 
     Returns an int for plain aggregations, or a list of
@@ -432,6 +432,10 @@ def run_query(trace: LogicalTrace | PhysicalTrace | Section, text: str,
     ``group by`` queries.  ``pushdown`` (archive sections only) enables
     chunk-stat pruning and footer-sum fast paths; disabling it forces
     full column decoding — results are identical.
+
+    The supported entry points are this function and
+    :meth:`repro.api.Run.query`; :func:`run_query` is the deprecated
+    legacy spelling.
     """
     q = parse(text)
     if isinstance(trace, Section):
@@ -467,3 +471,20 @@ def run_query(trace: LogicalTrace | PhysicalTrace | Section, text: str,
         return total
     ranked = sorted(groups.items(), key=lambda kv: (-kv[1], str(kv[0])))
     return ranked[: q.top] if q.top is not None else ranked
+
+
+def run_query(trace: LogicalTrace | PhysicalTrace | Section, text: str,
+              *, pushdown: bool = True):
+    """Deprecated alias of :func:`query_trace`.
+
+    Use :meth:`repro.api.Run.query` (or :func:`query_trace` for bare
+    trace objects) instead.
+    """
+    import warnings
+
+    warnings.warn(
+        "run_query() is deprecated; use repro.api.open_run(...).query() "
+        "or repro.core.query.query_trace()",
+        DeprecationWarning, stacklevel=2,
+    )
+    return query_trace(trace, text, pushdown=pushdown)

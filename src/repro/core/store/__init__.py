@@ -15,7 +15,10 @@ paper's Section VI flags.  This package provides the compact alternative:
 * :mod:`~repro.core.store.frame` — :class:`Frame`, the pruned columnar
   view that turns footer chunk stats into query pushdown,
 * :mod:`~repro.core.store.registry` — the on-disk :class:`RunRegistry`
-  behind ``actorprof runs list / show / rm``.
+  behind ``actorprof runs list / show / rm``,
+* :mod:`~repro.core.store.lod` — level-of-detail summary pyramids
+  (time-bucketed per-PE/per-edge aggregates at coarsening resolutions)
+  written at archive finalize or backfilled into existing archives.
 """
 
 from repro.core.store.archive import (
@@ -30,6 +33,16 @@ from repro.core.store.archive import (
 )
 from repro.core.store.codec import decode_column, encode_column
 from repro.core.store.frame import Frame
+from repro.core.store.lod import (
+    Pyramid,
+    PyramidInfo,
+    backfill_pyramid,
+    build_pyramid,
+    has_pyramid,
+    pyramid_info,
+    read_level,
+    write_pyramid,
+)
 from repro.core.store.registry import RunInfo, RunRegistry
 from repro.core.store.writer import ArchiveWriter, TraceArchiver, export_run
 
@@ -37,17 +50,25 @@ __all__ = [
     "Archive",
     "ArchiveWriter",
     "Frame",
+    "Pyramid",
+    "PyramidInfo",
     "RunInfo",
     "RunRegistry",
     "RunTraces",
     "Section",
     "TraceArchiver",
+    "backfill_pyramid",
+    "build_pyramid",
     "decode_column",
     "encode_column",
     "export_run",
+    "has_pyramid",
     "load_logical",
     "load_overall",
     "load_papi",
     "load_physical",
     "load_run",
+    "pyramid_info",
+    "read_level",
+    "write_pyramid",
 ]

@@ -1,0 +1,621 @@
+"""Level-of-detail (LOD) summary pyramids stored in ``.aptrc`` footers.
+
+The Traveler insight (PAPERS.md): interactive trace navigation comes
+from *precomputed aggregated interval indexes*, not raw event
+rendering.  This module computes time-bucketed per-PE and per-edge
+aggregates at geometrically coarsening resolutions and stores them as
+two ordinary archive sections, encoded with the existing delta+varint
+codec — pre-pyramid readers simply ignore the extra footer entries.
+
+Sections
+--------
+
+``lod_pe``   — per-PE occupancy:   level, bucket, pe, t_main, t_proc, t_comm
+``lod_edge`` — per-edge traffic:   level, bucket, src, dst, count, bytes
+
+Each *level* is written as its own chunk, so the footer's per-chunk
+``(min, max, sum)`` stats let :class:`~repro.core.store.frame.Frame`
+prune straight to one level's payload: reading level *k* decodes
+O(buckets at level k) bytes no matter how many raw events the run had.
+
+Levels are finest-first.  Level 0 uses a power-of-two bucket width
+``w0`` (the smallest power of two giving at most ``base`` buckets over
+the run's horizon); level ``k`` uses ``w0 << k``.  Power-of-two widths
+make every coarser bucket the exact pairwise sum of two finer ones, so
+the whole pyramid is built with one pass over the events plus cheap
+folds — and every level's totals are identical by construction (the
+differential tests assert this against full decodes).
+
+Archives that never saw a timeline (the usual one-shot export carries
+only aggregate traces) get a degenerate *flat* pyramid: one level, one
+bucket spanning the whole run, ``time_resolved=False`` in the section
+attrs.  Viewport queries still work; they just cannot zoom.
+
+:func:`backfill_pyramid` retrofits existing archives in place-or-copy:
+the original data region is copied verbatim (chunk offsets stay valid,
+so the pre-existing bytes are untouched), pyramid chunks are appended,
+and an extended footer is written.  Backfilling is deterministic —
+backfilling the same archive twice produces identical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.store.archive import (
+    MAGIC,
+    TAIL_MAGIC,
+    TRAILER,
+    Archive,
+    ArchiveError,
+)
+from repro.core.store.codec import encode_column
+from repro.core.store.frame import Frame
+
+#: Section names; unknown to pre-pyramid readers, which ignore them.
+PE_SECTION = "lod_pe"
+EDGE_SECTION = "lod_edge"
+
+PE_COLUMNS = ("level", "bucket", "pe", "t_main", "t_proc", "t_comm")
+EDGE_COLUMNS = ("level", "bucket", "src", "dst", "count", "bytes")
+
+#: Nominal bucket count of the finest level / the coarsest level.
+DEFAULT_BASE = 1024
+DEFAULT_FLOOR = 64
+
+LOD_VERSION = 1
+
+
+class LodError(ArchiveError):
+    """Raised for malformed or missing pyramid sections."""
+
+
+def _pow2_at_least(n: int) -> int:
+    """Smallest power of two >= max(n, 1)."""
+    return 1 if n <= 1 else 1 << (n - 1).bit_length()
+
+
+def level_widths(horizon: int, base: int = DEFAULT_BASE,
+                 floor: int = DEFAULT_FLOOR) -> list[int]:
+    """Bucket widths (cycles), finest level first.
+
+    Level 0 has at most ``base`` buckets across ``horizon``; each
+    coarser level doubles the width, down to a nominal ``floor``
+    buckets.  ``base`` and ``floor`` must be powers of two.
+    """
+    for name, v in (("base", base), ("floor", floor)):
+        if v < 1 or v & (v - 1):
+            raise ValueError(f"{name} must be a power of two, got {v}")
+    if floor > base:
+        raise ValueError(f"floor {floor} exceeds base {base}")
+    w0 = _pow2_at_least(-(-max(horizon, 1) // base))
+    n_levels = (base // floor).bit_length()  # log2(base/floor) + 1
+    return [w0 << k for k in range(n_levels)]
+
+
+@dataclass
+class Pyramid:
+    """In-memory pyramid: per-level sparse columns, finest first.
+
+    ``pe_levels[k]`` / ``edge_levels[k]`` hold the level-``k`` columns
+    (without the ``level`` column, which is added at write time).  The
+    per-PE side may be empty (streaming writers without a timeline).
+    """
+
+    horizon: int
+    n_pes: int
+    widths: list[int]
+    time_resolved: bool
+    pe_levels: list[dict[str, np.ndarray]]
+    edge_levels: list[dict[str, np.ndarray]]
+
+    @property
+    def levels(self) -> int:
+        return len(self.widths)
+
+    def buckets(self) -> list[int]:
+        """Actual bucket count of each level."""
+        return [-(-self.horizon // w) for w in self.widths]
+
+    def attrs(self) -> dict:
+        return {
+            "lod_version": LOD_VERSION,
+            "horizon": int(self.horizon),
+            "n_pes": int(self.n_pes),
+            "time_resolved": bool(self.time_resolved),
+            "widths": [int(w) for w in self.widths],
+            "buckets": [int(b) for b in self.buckets()],
+        }
+
+
+@dataclass(frozen=True)
+class PyramidInfo:
+    """Pyramid shape, read from section attrs alone (no payload decode)."""
+
+    horizon: int
+    n_pes: int
+    widths: tuple[int, ...]
+    buckets: tuple[int, ...]
+    time_resolved: bool
+    has_pe: bool
+    has_edges: bool
+
+    @property
+    def levels(self) -> int:
+        return len(self.widths)
+
+
+# ----------------------------------------------------------------------
+# building
+# ----------------------------------------------------------------------
+
+def _spread_span(row: np.ndarray, start: int, end: int, width: int) -> None:
+    """Distribute the cycles of ``[start, end)`` across ``row`` buckets."""
+    if end <= start:
+        return
+    b0 = start // width
+    b1 = (end - 1) // width
+    if b0 == b1:
+        row[b0] += end - start
+        return
+    row[b0] += (b0 + 1) * width - start
+    row[b1] += end - b1 * width
+    if b1 > b0 + 1:
+        row[b0 + 1:b1] += width
+
+
+def _pe_dense_to_columns(main: np.ndarray, proc: np.ndarray,
+                         comm: np.ndarray) -> dict[str, np.ndarray]:
+    """Sparse (bucket-major) columns from dense (n_pes, nb) arrays."""
+    occupied = (main + proc + comm).T  # (nb, n_pes): bucket-major order
+    b_idx, pe_idx = np.nonzero(occupied > 0)
+    return {
+        "bucket": b_idx.astype(np.int64),
+        "pe": pe_idx.astype(np.int64),
+        "t_main": main.T[b_idx, pe_idx],
+        "t_proc": proc.T[b_idx, pe_idx],
+        "t_comm": comm.T[b_idx, pe_idx],
+    }
+
+
+def _edge_group(flat: np.ndarray, counts: np.ndarray, nbytes: np.ndarray,
+                n_pes: int) -> dict[str, np.ndarray]:
+    """Group (bucket*P² + src*P + dst) keys; output sorted bucket-major."""
+    uniq, inverse = np.unique(flat, return_inverse=True)
+    count_sums = np.bincount(inverse, weights=counts,
+                             minlength=len(uniq)).astype(np.int64)
+    byte_sums = np.bincount(inverse, weights=nbytes,
+                            minlength=len(uniq)).astype(np.int64)
+    return {
+        "bucket": uniq // (n_pes * n_pes),
+        "src": (uniq // n_pes) % n_pes,
+        "dst": uniq % n_pes,
+        "count": count_sums,
+        "bytes": byte_sums,
+    }
+
+
+def _fold_pe(cols: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    """One coarsening step on per-PE columns (bucket → bucket // 2)."""
+    key = cols["bucket"] // 2 * 2 ** 32 + cols["pe"]  # pes < 2**32 always
+    uniq, inverse = np.unique(key, return_inverse=True)
+    out = {"bucket": uniq // 2 ** 32, "pe": uniq % 2 ** 32}
+    for c in ("t_main", "t_proc", "t_comm"):
+        out[c] = np.bincount(inverse, weights=cols[c],
+                             minlength=len(uniq)).astype(np.int64)
+    return out
+
+
+def _fold_edge(cols: dict[str, np.ndarray], n_pes: int) -> dict[str, np.ndarray]:
+    """One coarsening step on per-edge columns."""
+    flat = (cols["bucket"] // 2) * (n_pes * n_pes) \
+        + cols["src"] * n_pes + cols["dst"]
+    return _edge_group(flat, cols["count"], cols["bytes"], n_pes)
+
+
+def _empty_pe() -> dict[str, np.ndarray]:
+    z = np.zeros(0, dtype=np.int64)
+    return {"bucket": z, "pe": z, "t_main": z, "t_proc": z, "t_comm": z}
+
+
+def _empty_edge() -> dict[str, np.ndarray]:
+    z = np.zeros(0, dtype=np.int64)
+    return {"bucket": z, "src": z, "dst": z, "count": z, "bytes": z}
+
+
+def build_pyramid(timeline, *, base: int = DEFAULT_BASE,
+                  floor: int = DEFAULT_FLOOR) -> Pyramid:
+    """Full time-resolved pyramid from a
+    :class:`~repro.core.timeline.TimelineTrace`.
+
+    MAIN/PROC occupancy comes from region spans, T_COMM per bucket is
+    the FINISH coverage minus MAIN and PROC (clipped at zero — exactly
+    the paper's derived-COMM rule, per bucket), and edges come from the
+    instrumented net events (the same stream the physical trace
+    aggregates, so per-level edge totals match the physical section).
+    """
+    n_pes = timeline.n_pes
+    horizon = max(timeline.end_time(), 1)
+    widths = level_widths(horizon, base, floor)
+    w0 = widths[0]
+    nb0 = -(-horizon // w0)
+
+    main = np.zeros((n_pes, nb0), dtype=np.int64)
+    proc = np.zeros((n_pes, nb0), dtype=np.int64)
+    total = np.zeros((n_pes, nb0), dtype=np.int64)
+    targets = {"MAIN": main, "PROC": proc, "FINISH": total}
+    for span in timeline.spans():
+        row = targets.get(span.region)
+        if row is not None:
+            _spread_span(row[span.pe], span.start, span.end, w0)
+    comm = np.maximum(total - main - proc, 0)
+    pe0 = _pe_dense_to_columns(main, proc, comm)
+
+    events = timeline.net_events()
+    if events:
+        times = np.fromiter((e.time for e in events), dtype=np.int64,
+                            count=len(events))
+        srcs = np.fromiter((e.src for e in events), dtype=np.int64,
+                           count=len(events))
+        dsts = np.fromiter((e.dst for e in events), dtype=np.int64,
+                           count=len(events))
+        sizes = np.fromiter((e.nbytes for e in events), dtype=np.int64,
+                            count=len(events))
+        flat = (times // w0) * (n_pes * n_pes) + srcs * n_pes + dsts
+        edge0 = _edge_group(flat, np.ones(len(events), dtype=np.int64),
+                            sizes, n_pes)
+    else:
+        edge0 = _empty_edge()
+
+    pe_levels = [pe0]
+    edge_levels = [edge0]
+    for _ in widths[1:]:
+        pe_levels.append(_fold_pe(pe_levels[-1]))
+        edge_levels.append(_fold_edge(edge_levels[-1], n_pes))
+    return Pyramid(horizon, n_pes, widths, True, pe_levels, edge_levels)
+
+
+def build_flat_pyramid(*, n_pes: int, horizon: int,
+                       overall=None,
+                       edge_count: np.ndarray | None = None,
+                       edge_bytes: np.ndarray | None = None) -> Pyramid:
+    """Single-bucket pyramid from aggregate traces (no timestamps).
+
+    ``overall`` supplies per-PE T_MAIN/T_PROC/T_COMM; the edge matrices
+    (``n_pes`` × ``n_pes``) supply traffic.  Used by the backfill path
+    and by one-shot exports that ran without a timeline.
+    """
+    horizon = max(int(horizon), 1)
+    if overall is not None:
+        main = np.asarray(overall.t_main, dtype=np.int64)
+        proc = np.asarray(overall.t_proc, dtype=np.int64)
+        comm = np.maximum(
+            np.asarray(overall.t_total, dtype=np.int64) - main - proc, 0)
+        pe0 = _pe_dense_to_columns(main[:, None], proc[:, None],
+                                   comm[:, None])
+    else:
+        pe0 = _empty_pe()
+    if edge_count is not None:
+        edge_count = np.asarray(edge_count, dtype=np.int64)
+        if edge_bytes is None:
+            edge_bytes = np.zeros_like(edge_count)
+        src, dst = np.nonzero(edge_count > 0)
+        edge0 = {
+            "bucket": np.zeros(len(src), dtype=np.int64),
+            "src": src.astype(np.int64),
+            "dst": dst.astype(np.int64),
+            "count": edge_count[src, dst],
+            "bytes": np.asarray(edge_bytes, dtype=np.int64)[src, dst],
+        }
+    else:
+        edge0 = _empty_edge()
+    return Pyramid(horizon, n_pes, [horizon], False, [pe0], [edge0])
+
+
+def build_pyramid_for_export(*, timeline=None, overall=None, physical=None,
+                             logical=None, base: int = DEFAULT_BASE,
+                             floor: int = DEFAULT_FLOOR) -> Pyramid | None:
+    """The pyramid for one run's in-memory traces, or None if no source.
+
+    A timeline gives the full multi-level pyramid; otherwise the
+    aggregate traces degrade to a flat (single-bucket) one.
+    """
+    if timeline is not None and (timeline.span_count() or timeline.net_events()):
+        return build_pyramid(timeline, base=base, floor=floor)
+    n_pes = None
+    edge_count = edge_bytes = None
+    if physical is not None:
+        n_pes = physical.n_pes
+        edge_count = physical.matrix()
+        edge_bytes = physical.bytes_matrix()
+    elif logical is not None:
+        n_pes = logical.spec.n_pes
+        edge_count = logical.matrix()
+        edge_bytes = logical.bytes_matrix()
+    if overall is not None:
+        n_pes = overall.n_pes if n_pes is None else n_pes
+    if n_pes is None:
+        return None
+    horizon = int(np.max(overall.t_total)) if overall is not None else 1
+    return build_flat_pyramid(n_pes=n_pes, horizon=horizon, overall=overall,
+                              edge_count=edge_count, edge_bytes=edge_bytes)
+
+
+class StreamingEdgeLod:
+    """Streaming bucketed edge accumulator for :class:`TraceArchiver`.
+
+    Holds one dict entry per (bucket, src, dst) seen at the *current*
+    bucket width; when the run outgrows ``base`` buckets the width
+    doubles and the buckets fold pairwise — O(log horizon) folds total,
+    so memory stays O(base × live edges) for a run of any length.
+    """
+
+    def __init__(self, base: int = DEFAULT_BASE) -> None:
+        if base < 1 or base & (base - 1):
+            raise ValueError(f"base must be a power of two, got {base}")
+        self.base = base
+        self.width = 1
+        self.horizon = 0
+        self._acc: dict[tuple[int, int, int], list[int]] = {}
+
+    def add(self, t: int, src: int, dst: int, nbytes: int) -> None:
+        if t >= self.horizon:
+            self.horizon = t + 1
+        while t // self.width >= self.base:
+            self._fold()
+        key = (t // self.width, src, dst)
+        entry = self._acc.get(key)
+        if entry is None:
+            self._acc[key] = [1, nbytes]
+        else:
+            entry[0] += 1
+            entry[1] += nbytes
+
+    def _fold(self) -> None:
+        self.width *= 2
+        folded: dict[tuple[int, int, int], list[int]] = {}
+        for (b, src, dst), (count, nbytes) in self._acc.items():
+            key = (b // 2, src, dst)
+            entry = folded.get(key)
+            if entry is None:
+                folded[key] = [count, nbytes]
+            else:
+                entry[0] += count
+                entry[1] += nbytes
+        self._acc = folded
+
+    def to_pyramid(self, n_pes: int, *, floor: int = DEFAULT_FLOOR) -> Pyramid:
+        """Finalize into an edge-only pyramid (empty per-PE levels)."""
+        horizon = max(self.horizon, 1)
+        widths = level_widths(horizon, self.base, floor)
+        while self.width < widths[0]:
+            self._fold()
+        keys = sorted(self._acc)
+        edge0 = {
+            "bucket": np.array([k[0] for k in keys], dtype=np.int64),
+            "src": np.array([k[1] for k in keys], dtype=np.int64),
+            "dst": np.array([k[2] for k in keys], dtype=np.int64),
+            "count": np.array([self._acc[k][0] for k in keys],
+                              dtype=np.int64),
+            "bytes": np.array([self._acc[k][1] for k in keys],
+                              dtype=np.int64),
+        }
+        if not keys:
+            edge0 = _empty_edge()
+        edge_levels = [edge0]
+        for _ in widths[1:]:
+            edge_levels.append(_fold_edge(edge_levels[-1], n_pes))
+        pe_levels = [_empty_pe() for _ in widths]
+        return Pyramid(horizon, n_pes, widths, True, pe_levels, edge_levels)
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+
+def write_pyramid(writer, pyramid: Pyramid) -> None:
+    """Append the pyramid sections to an open
+    :class:`~repro.core.store.writer.ArchiveWriter` (one chunk per
+    level, so chunk stats on the ``level`` column prune level reads)."""
+    attrs = pyramid.attrs()
+    for name, columns, levels in (
+        (PE_SECTION, PE_COLUMNS, pyramid.pe_levels),
+        (EDGE_SECTION, EDGE_COLUMNS, pyramid.edge_levels),
+    ):
+        section = writer.begin_section(name, columns, attrs=attrs)
+        for level, cols in enumerate(levels):
+            n = len(cols["bucket"])
+            section.write_chunk(
+                {"level": np.full(n, level, dtype=np.int64), **cols})
+        section.end()
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+
+def has_pyramid(archive: Archive) -> bool:
+    """Does this archive carry LOD pyramid sections?"""
+    return archive.has_section(PE_SECTION) or archive.has_section(EDGE_SECTION)
+
+
+def pyramid_info(archive: Archive) -> PyramidInfo | None:
+    """Pyramid shape from section attrs alone; None when absent or
+    malformed (graceful degradation: callers print "none", not a
+    traceback)."""
+    for name in (PE_SECTION, EDGE_SECTION):
+        if not archive.has_section(name):
+            continue
+        attrs = archive.section(name).attrs
+        try:
+            widths = tuple(int(w) for w in attrs["widths"])
+            buckets = tuple(int(b) for b in attrs["buckets"])
+            if not widths or len(widths) != len(buckets):
+                return None
+            return PyramidInfo(
+                horizon=int(attrs["horizon"]),
+                n_pes=int(attrs["n_pes"]),
+                widths=widths,
+                buckets=buckets,
+                time_resolved=bool(attrs["time_resolved"]),
+                has_pe=archive.has_section(PE_SECTION)
+                and archive.section(PE_SECTION).rows > 0,
+                has_edges=archive.has_section(EDGE_SECTION)
+                and archive.section(EDGE_SECTION).rows > 0,
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+    return None
+
+
+def read_level(archive: Archive, kind: str, level: int) -> dict[str, np.ndarray]:
+    """Decode one level's columns of one pyramid side (``pe``/``edge``).
+
+    Rides the :class:`Frame` chunk-stat pruning: with the one-chunk-
+    per-level layout only that level's payload bytes are read.
+    """
+    name = {"pe": PE_SECTION, "edge": EDGE_SECTION}.get(kind)
+    if name is None:
+        raise LodError(f"unknown pyramid side {kind!r} (want pe/edge)")
+    if not archive.has_section(name):
+        raise LodError(f"{archive.path}: archive has no {name!r} section "
+                       "(backfill with `actorprof viz RUN --backfill`)")
+    section = archive.section(name)
+    columns = PE_COLUMNS if kind == "pe" else EDGE_COLUMNS
+    frame = Frame(section)
+    frame.prune("level", "==", level)
+    levels = frame.column("level")
+    mask = levels == level
+    full = bool(mask.all())
+    out = {}
+    for c in columns[1:]:
+        values = frame.column(c)
+        out[c] = values if full else values[mask]
+    return out
+
+
+# ----------------------------------------------------------------------
+# backfill
+# ----------------------------------------------------------------------
+
+def build_pyramid_from_archive(archive: Archive, *,
+                               base: int = DEFAULT_BASE,
+                               floor: int = DEFAULT_FLOOR) -> Pyramid:
+    """A flat pyramid from an archive's aggregate sections.
+
+    ``.aptrc`` archives store no per-event timestamps, so the backfill
+    degrades to one bucket spanning the run (``time_resolved=False``);
+    per-PE occupancy comes from ``overall`` and edges from ``physical``
+    (falling back to ``logical``).
+    """
+    from repro.core.store.archive import load_overall
+    from repro.core.store.frame import scatter_matrix
+
+    n_pes = archive.n_pes
+    overall = (load_overall(archive) if archive.has_section("overall")
+               else None)
+    edge_count = edge_bytes = None
+    for name in ("physical", "logical"):
+        if not archive.has_section(name):
+            continue
+        frame = Frame(archive.section(name))
+        src, dst = frame.column("src"), frame.column("dst")
+        count, size = frame.column("count"), frame.column("size")
+        edge_count = scatter_matrix(src, dst, count, (n_pes, n_pes))
+        edge_bytes = scatter_matrix(src, dst, count * size, (n_pes, n_pes))
+        break
+    horizon = int(np.max(overall.t_total)) if overall is not None else 1
+    return build_flat_pyramid(n_pes=n_pes, horizon=horizon, overall=overall,
+                              edge_count=edge_count, edge_bytes=edge_bytes)
+
+
+def _split_archive(path: Path) -> tuple[bytes, dict]:
+    """Read an archive's raw data region (magic + chunks) and footer."""
+    raw = path.read_bytes()
+    tail_len = TRAILER.size + len(TAIL_MAGIC)
+    if len(raw) < len(MAGIC) + tail_len or not raw.startswith(MAGIC) \
+            or not raw.endswith(TAIL_MAGIC):
+        raise ArchiveError(f"{path}: not a .aptrc archive")
+    foot_off, foot_len = TRAILER.unpack(
+        raw[len(raw) - tail_len:len(raw) - len(TAIL_MAGIC)])
+    if foot_off + foot_len > len(raw) - tail_len:
+        raise ArchiveError(f"{path}: footer index out of bounds")
+    footer = json.loads(zlib.decompress(raw[foot_off:foot_off + foot_len]))
+    return raw[:foot_off], footer
+
+
+def _encode_appended_sections(pyramid: Pyramid, start: int) -> tuple[bytes, dict]:
+    """Encode pyramid chunks for appending at file offset ``start``.
+
+    Mirrors :class:`SectionWriter`'s footer entry layout exactly
+    (``[offset, length, encoding, count, [min, max, sum]]``) so
+    backfilled and writer-emitted pyramids read identically.
+    """
+    attrs = pyramid.attrs()
+    buf = bytearray()
+    sections: dict[str, dict] = {}
+    for name, columns, levels in (
+        (PE_SECTION, PE_COLUMNS, pyramid.pe_levels),
+        (EDGE_SECTION, EDGE_COLUMNS, pyramid.edge_levels),
+    ):
+        chunks: dict[str, list] = {c: [] for c in columns}
+        rows = 0
+        for level, cols in enumerate(levels):
+            n = len(cols["bucket"])
+            if n == 0:
+                continue
+            full = {"level": np.full(n, level, dtype=np.int64), **cols}
+            for c in columns:
+                arr = np.asarray(full[c], dtype=np.int64).ravel()
+                payload, encoding = encode_column(arr)
+                offset = start + len(buf)
+                buf += payload
+                chunks[c].append([offset, len(payload), encoding, n,
+                                  [int(arr.min()), int(arr.max()),
+                                   int(arr.sum(dtype=np.int64))]])
+            rows += n
+        sections[name] = {"attrs": attrs, "rows": rows, "columns": chunks}
+    return bytes(buf), sections
+
+
+def backfill_pyramid(path: str | Path, out: str | Path | None = None, *,
+                     base: int = DEFAULT_BASE,
+                     floor: int = DEFAULT_FLOOR) -> Path:
+    """Add pyramid sections to an existing archive (in place by default).
+
+    The original data region is copied byte-for-byte — existing chunk
+    offsets stay valid and the pre-pyramid reader path sees the exact
+    same sections — with the pyramid chunks appended and the footer
+    extended.  Archives that already carry a pyramid are left unchanged
+    (copied verbatim when ``out`` names a different path).
+    """
+    path = Path(path)
+    out_path = Path(out) if out is not None else path
+    data, footer = _split_archive(path)
+    if PE_SECTION in footer.get("sections", {}) \
+            or EDGE_SECTION in footer.get("sections", {}):
+        if out_path != path:
+            shutil.copyfile(path, out_path)
+        return out_path
+    with Archive(path) as archive:
+        pyramid = build_pyramid_from_archive(archive, base=base, floor=floor)
+    appended, new_sections = _encode_appended_sections(pyramid, len(data))
+    footer.setdefault("sections", {}).update(new_sections)
+    payload = zlib.compress(
+        json.dumps(footer, separators=(",", ":")).encode("utf-8"), 6)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = out_path.with_name(out_path.name + ".lod-tmp")
+    with tmp.open("wb") as f:
+        f.write(data)
+        f.write(appended)
+        f.write(payload)
+        f.write(TRAILER.pack(len(data) + len(appended), len(payload)))
+        f.write(TAIL_MAGIC)
+    tmp.replace(out_path)
+    return out_path

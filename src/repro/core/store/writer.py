@@ -242,14 +242,22 @@ def export_run(
     physical=None,
     papi=None,
     overall=None,
+    timeline=None,
     meta: dict | None = None,
     stats: bool | None = None,
+    lod: bool = False,
 ) -> Path:
     """Write the given traces into a single ``.aptrc`` archive.
 
     Any subset of the four trace kinds may be supplied; ``meta`` entries
     override the machine metadata inferred from the traces.  ``stats``
     is forwarded to :class:`ArchiveWriter`.
+
+    ``lod=True`` additionally computes and stores the level-of-detail
+    summary pyramid (:mod:`repro.core.store.lod`) at finalize —
+    time-resolved when a ``timeline`` is supplied, flat otherwise.  It
+    defaults off so existing writers stay byte-identical; ``timeline``
+    is only a pyramid source, never a section of its own.
     """
     if logical is None and physical is None and papi is None and overall is None:
         raise ArchiveError("export_run needs at least one trace")
@@ -261,6 +269,17 @@ def export_run(
             if trace is not None:
                 columns, attrs = trace.to_columns()
                 writer.add_section(name, columns, attrs)
+        if lod:
+            from repro.core.store.lod import (
+                build_pyramid_for_export,
+                write_pyramid,
+            )
+
+            pyramid = build_pyramid_for_export(
+                timeline=timeline, overall=overall, physical=physical,
+                logical=logical)
+            if pyramid is not None:
+                write_pyramid(writer, pyramid)
         return writer.path
 
 
@@ -289,7 +308,8 @@ class TraceArchiver:
     PHYSICAL_COLUMNS = ("kind", "size", "src", "dst", "count")
 
     def __init__(self, path: str | Path, inner=None,
-                 spill_every: int = 250_000, meta: dict | None = None) -> None:
+                 spill_every: int = 250_000, meta: dict | None = None,
+                 lod: bool = False) -> None:
         if spill_every < 1:
             raise ValueError("spill_every must be >= 1")
         self.inner = inner
@@ -306,6 +326,12 @@ class TraceArchiver:
         self._ticks: list[int] = []
         self._pending = 0
         self.spills = 0
+        self._lod = bool(lod)
+        self._edge_lod = None
+        if self._lod:
+            from repro.core.store.lod import StreamingEdgeLod
+
+            self._edge_lod = StreamingEdgeLod()
 
     # -- profiler protocol -----------------------------------------------
 
@@ -394,6 +420,17 @@ class TraceArchiver:
         if overall is not None:
             columns, attrs = overall.to_columns()
             self._writer.add_section("overall", columns, attrs)
+        if self._lod:
+            from repro.core.store.lod import build_pyramid, write_pyramid
+
+            timeline = getattr(self.inner, "timeline", None)
+            if timeline is not None and timeline.span_count():
+                # the timeline carries the same net-event stream record()
+                # saw, plus the region spans the streamed path lacks
+                pyramid = build_pyramid(timeline)
+            else:
+                pyramid = self._edge_lod.to_pyramid(self._spec.n_pes)
+            write_pyramid(self._writer, pyramid)
         return self._writer.close()
 
     def salvage(self, failure: BaseException | None = None,
@@ -481,6 +518,8 @@ class TraceArchiver:
         key = (kind, nbytes, src_pe, dst_pe)
         self._physical[key] = self._physical.get(key, 0) + 1
         self._pending += 1
+        if self._edge_lod is not None:
+            self._edge_lod.add(time, src_pe, dst_pe, nbytes)
         if self._tracer is not None:
             self._tracer.record(send_type, nbytes, src_pe, dst_pe, time)
         self._maybe_spill()

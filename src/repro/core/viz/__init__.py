@@ -9,6 +9,12 @@ matplotlib, which is unavailable here (see DESIGN.md substitutions).
 
 from repro.core.viz.bars import bar_graph, grouped_bar_graph
 from repro.core.viz.heatmap import ascii_heatmap, heatmap_svg
+from repro.core.viz.lodviews import (
+    lod_gantt_svg,
+    lod_heatmap_svg,
+    lod_timeline_svg,
+    viz_html,
+)
 from repro.core.viz.stacked import stacked_bar_graph
 from repro.core.viz.svg import Canvas
 from repro.core.viz.violin import violin_svg
@@ -19,6 +25,10 @@ __all__ = [
     "bar_graph",
     "grouped_bar_graph",
     "heatmap_svg",
+    "lod_gantt_svg",
+    "lod_heatmap_svg",
+    "lod_timeline_svg",
     "stacked_bar_graph",
     "violin_svg",
+    "viz_html",
 ]

@@ -39,6 +39,18 @@ def diff_key(fingerprint_a: str, fingerprint_b: str) -> str:
     return _key({"kind": "diff", "a": fingerprint_a, "b": fingerprint_b})
 
 
+def viz_key(fingerprint: str, view: str, t0: int | None, t1: int | None,
+            res: int | None) -> str:
+    """Cache key for one LOD viz render (view + snapped-viewport args).
+
+    ``None`` window/resolution values key distinctly from explicit
+    ones: the defaults depend on the archive's pyramid shape, which the
+    fingerprint already pins.
+    """
+    return _key({"kind": "viz", "fingerprint": fingerprint, "view": view,
+                 "t0": t0, "t1": t1, "res": res})
+
+
 class ArtifactStore:
     """A size-bounded :class:`ResultCache` plus the content-address scheme.
 

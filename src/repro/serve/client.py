@@ -161,6 +161,31 @@ class ServeClient:
             "GET", f"/runs/{quote(run)}/query?section={quote(section)}"
                    f"&q={quote(query)}")
 
+    def viz(self, run: str, view: str, t0: int | None = None,
+            t1: int | None = None, res: int | None = None,
+            ) -> tuple[str, dict[str, str]]:
+        """Fetch one LOD viz SVG; returns ``(svg_text, headers)``.
+
+        The headers carry ``x-cache`` (artifact-store hit/miss),
+        ``x-lod-level`` and ``x-viewport`` for drill-down clients.
+        """
+        from urllib.parse import quote
+
+        params = "&".join(f"{k}={v}" for k, v in
+                          (("t0", t0), ("t1", t1), ("res", res))
+                          if v is not None)
+        path = f"/runs/{quote(run)}/viz/{quote(view)}"
+        if params:
+            path += f"?{params}"
+        status, headers, body = self.request("GET", path)
+        if status >= 400:
+            try:
+                message = json.loads(body).get("error", f"status {status}")
+            except ValueError:
+                message = body.decode("latin-1", "replace")
+            raise ServeError(status, message)
+        return body.decode("utf-8"), headers
+
     def diff(self, run_a: str, run_b: str) -> dict:
         from urllib.parse import quote
 

@@ -34,8 +34,11 @@ from repro.serve.ingest import spool_upload
 _ENDPOINTS = [
     "GET /", "GET /healthz", "GET /stats", "GET /runs", "GET /runs/{id}",
     "POST /runs[?id=ID]", "GET /runs/{id}/query?q=QUERY[&section=SECTION]",
+    "GET /runs/{id}/viz/{gantt|heatmap|timeline}[?t0=T0&t1=T1&res=RES]",
     "GET /diff?a=RUN&b=RUN", "POST /shutdown",
 ]
+
+_VIZ_VIEWS = ("gantt", "heatmap", "timeline")
 
 
 async def handle(arbiter, request: Request, reader, writer) -> None:
@@ -57,6 +60,9 @@ async def handle(arbiter, request: Request, reader, writer) -> None:
     elif (len(segments) == 3 and segments[0] == "runs"
           and segments[2] == "query" and method == "GET"):
         await _query(arbiter, request, segments[1], writer)
+    elif (len(segments) == 4 and segments[0] == "runs"
+          and segments[2] == "viz" and method == "GET"):
+        await _viz(arbiter, request, segments[1], segments[3], writer)
     elif path == "/diff" and method == "GET":
         await _diff(arbiter, request, writer)
     elif path == "/shutdown" and method == "POST":
@@ -208,6 +214,56 @@ async def _query(arbiter, request: Request, ref: str, writer) -> None:
         "run": info.run_id, "section": section, "query": canonical,
         "result": record.value["result"], "cached": record.cached,
     }, headers={"X-Cache": "hit" if record.cached else "miss"})
+
+
+async def _viz(arbiter, request: Request, ref: str, view: str,
+               writer) -> None:
+    """LOD-backed SVG render of one run's viewport.
+
+    Replies are ``image/svg+xml`` with ``X-Cache`` (artifact store),
+    ``X-Lod-Level`` (pyramid level used) and ``X-Viewport`` (snapped
+    window) headers — everything a pan/zoom client needs to refine.
+    """
+    from repro.serve.artifacts import viz_key
+    from repro.serve.http import response_bytes
+
+    if view not in _VIZ_VIEWS:
+        raise HttpError(
+            404, f"unknown viz view {view!r}; want one of {_VIZ_VIEWS}")
+
+    def int_param(name: str) -> int | None:
+        raw = request.params.get(name)
+        if raw is None:
+            return None
+        try:
+            return int(raw)
+        except ValueError:
+            raise HttpError(400, f"{name} must be an integer, "
+                                 f"got {raw!r}") from None
+
+    t0, t1, res = int_param("t0"), int_param("t1"), int_param("res")
+    if res is not None and res < 1:
+        raise HttpError(400, "res must be a positive integer")
+    info = _registry_call(arbiter.registry.resolve, ref)
+    key = viz_key(info.fingerprint, view, t0, t1, res)
+    record = await arbiter.dispatch(
+        "repro.serve.tasks:run_viz_task",
+        {"archive": str(info.path), "view": view,
+         "t0": t0, "t1": t1, "res": res},
+        tag=f"viz:{info.run_id}:{view}", cache_key=key)
+    if not record.ok:
+        client_fault = (record.error or "").startswith(
+            ("LodError", "ArchiveError", "ValueError"))
+        raise HttpError(400 if client_fault else 500,
+                        f"viz failed: {record.error}")
+    value = record.value
+    writer.write(response_bytes(
+        200, value["svg"].encode("utf-8"), content_type="image/svg+xml",
+        headers={"X-Cache": "hit" if record.cached else "miss",
+                 "X-Lod-Level": str(value["level"]),
+                 "X-Viewport": f"{value['t0']}-{value['t1']}",
+                 "X-Horizon": str(value["horizon"])}))
+    await writer.drain()
 
 
 async def _diff(arbiter, request: Request, writer) -> None:

@@ -166,21 +166,25 @@ def _predictions(dag: EventDag, baseline_total: int,
     return rows
 
 
-def run_whatif(workload: Workload, *,
-               scale_sets: list[Scales] | None = None,
-               sweeps: list[tuple[str, list[float]]] | None = None,
-               jobs: int = 1,
-               cache: ResultCache | str | Path | None = None,
-               out_dir: str | Path | None = None,
-               fault_plan: FaultPlan | None = None,
-               candidate_factor: float = 0.5,
-               dag_out: list | None = None) -> dict:
+def _run_whatif(workload: Workload, *,
+                scale_sets: list[Scales] | None = None,
+                sweeps: list[tuple[str, list[float]]] | None = None,
+                jobs: int = 1,
+                cache: ResultCache | str | Path | None = None,
+                out_dir: str | Path | None = None,
+                fault_plan: FaultPlan | None = None,
+                candidate_factor: float = 0.5,
+                dag_out: list | None = None) -> dict:
     """Full what-if analysis of one workload; returns the report dict.
 
     ``scale_sets`` are explicit replay points (one per ``--scale``
     group); ``sweeps`` contribute the cartesian product of their factor
     axes as additional points.  ``dag_out``, when given, receives the
     built :class:`EventDag` (for tests and programmatic callers).
+
+    The supported entry points are :func:`repro.api.whatif` and
+    :meth:`repro.api.Run.whatif`; :func:`run_whatif` is the deprecated
+    legacy spelling.
     """
     reject_crash_plans(fault_plan)
     tmp: TemporaryDirectory | None = None
@@ -295,3 +299,15 @@ def run_whatif(workload: Workload, *,
     finally:
         if tmp is not None:
             tmp.cleanup()
+
+
+def run_whatif(workload: Workload, **kwargs) -> dict:
+    """Deprecated alias of the engine; use :func:`repro.api.whatif`."""
+    import warnings
+
+    warnings.warn(
+        "run_whatif() is deprecated; use repro.api.whatif() or "
+        "repro.api.open_run(...).whatif()",
+        DeprecationWarning, stacklevel=2,
+    )
+    return _run_whatif(workload, **kwargs)

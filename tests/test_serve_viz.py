@@ -1,0 +1,93 @@
+"""End-to-end tests for the ``/runs/{id}/viz/{view}`` endpoints.
+
+Real server, real sockets, like :mod:`tests.test_serve_service` — the
+viz path additionally pins the artifact-cache contract (first fetch
+misses, identical second fetch hits) and the response headers a
+pan/zoom client steers by (``X-Lod-Level``, ``X-Viewport``,
+``X-Horizon``).
+"""
+
+import pytest
+
+from repro import ActorProf, ProfileFlags
+from repro.apps import histogram
+from repro.machine.spec import MachineSpec
+from repro.serve import ServeError, ServerConfig, ServerThread
+
+
+@pytest.fixture(scope="module")
+def archive(tmp_path_factory):
+    ap = ActorProf(ProfileFlags.all(enable_timeline=True))
+    histogram(400, 64, MachineSpec(2, 2), profiler=ap)
+    return ap.export_archive(tmp_path_factory.mktemp("viz") / "run.aptrc",
+                             meta={"app": "hist"}, lod=True)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    config = ServerConfig(data_dir=tmp_path / "srv", port=0, shards=2,
+                          workers=2, allow_shutdown=True)
+    with ServerThread(config) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server, archive):
+    client = server.client()
+    client.push(archive, run_id="demo")
+    return client
+
+
+@pytest.mark.parametrize("view", ["gantt", "heatmap", "timeline"])
+def test_viz_endpoint_serves_svg_from_the_pyramid(client, view):
+    svg, headers = client.viz("demo", view)
+    assert "<svg" in svg
+    assert headers["content-type"] == "image/svg+xml"
+    assert headers["x-cache"] == "miss"
+    level = int(headers["x-lod-level"])
+    assert level >= 0
+    t0, t1 = map(int, headers["x-viewport"].split("-"))
+    assert 0 <= t0 < t1 <= int(headers["x-horizon"])
+
+
+def test_second_fetch_hits_the_artifact_cache(client):
+    svg_a, headers_a = client.viz("demo", "heatmap")
+    svg_b, headers_b = client.viz("demo", "heatmap")
+    assert headers_a["x-cache"] == "miss"
+    assert headers_b["x-cache"] == "hit"
+    assert svg_a == svg_b
+    # a different viewport is a different artifact
+    _, headers_c = client.viz("demo", "heatmap", t0=0, t1=1000)
+    assert headers_c["x-cache"] == "miss"
+
+
+def test_zoom_refines_the_lod_level(client):
+    _, wide = client.viz("demo", "gantt")
+    horizon = int(wide["x-horizon"])
+    _, narrow = client.viz("demo", "gantt", t0=0, t1=max(horizon // 16, 1))
+    assert int(narrow["x-lod-level"]) <= int(wide["x-lod-level"])
+
+
+def test_viz_error_paths(client):
+    with pytest.raises(ServeError) as excinfo:
+        client.viz("demo", "sparkline")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServeError) as excinfo:
+        client.viz("demo", "gantt", res=0)
+    assert excinfo.value.status == 400
+    with pytest.raises(ServeError) as excinfo:
+        client.viz("no-such-run", "gantt")
+    assert excinfo.value.status == 404
+    status, _, _ = client.request("GET", "/runs/demo/viz/gantt?t0=abc")
+    assert status == 400
+
+
+def test_viz_on_legacy_archive_falls_back_to_flat(server, tmp_path):
+    """Pre-pyramid uploads still render (in-memory flat fallback)."""
+    from tests.test_golden_archives import GOLDEN_DIR
+
+    client = server.client()
+    client.push(GOLDEN_DIR / "histogram.aptrc", run_id="legacy")
+    svg, headers = client.viz("legacy", "heatmap")
+    assert "<svg" in svg
+    assert headers["x-lod-level"] == "0"

@@ -1,0 +1,283 @@
+"""Tests for the LOD summary pyramid: build, store, backfill, query.
+
+The differential properties here are the pyramid's contract: every
+level is an *exact* aggregation — per-PE occupancy totals equal the
+``overall`` section, per-edge count/bytes totals equal a full decode of
+the ``physical`` section, and coarser levels are exact pairwise sums of
+finer ones.  The backfill tests pin format compatibility: the original
+data region is copied byte-for-byte, so pre-pyramid readers see the
+exact same sections.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ActorProf, ProfileFlags
+from repro.apps import histogram
+from repro.core.lod import DEFAULT_RES, LodView, open_lod
+from repro.core.store.archive import Archive, load_overall, load_run
+from repro.core.store.frame import Frame, scatter_matrix
+from repro.core.store.lod import (
+    EDGE_SECTION,
+    PE_SECTION,
+    LodError,
+    backfill_pyramid,
+    build_pyramid,
+    has_pyramid,
+    level_widths,
+    pyramid_info,
+    read_level,
+)
+from repro.machine.spec import MachineSpec
+
+from tests.test_golden_archives import GOLDEN_DIR
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    ap = ActorProf(ProfileFlags.all(enable_timeline=True))
+    histogram(500, 128, MachineSpec(2, 2), profiler=ap)
+    return ap
+
+
+@pytest.fixture(scope="module")
+def lod_archive(profiled, tmp_path_factory):
+    path = tmp_path_factory.mktemp("lod") / "hist.aptrc"
+    return profiled.export_archive(path, meta={"app": "hist"}, lod=True)
+
+
+def _pe_totals(cols, n_pes):
+    out = np.zeros((n_pes, 3), dtype=np.int64)
+    for i, c in enumerate(("t_main", "t_proc", "t_comm")):
+        np.add.at(out[:, i], cols["pe"], cols[c])
+    return out
+
+
+def _edge_totals(cols, n_pes):
+    count = scatter_matrix(cols["src"], cols["dst"], cols["count"],
+                           (n_pes, n_pes))
+    nbytes = scatter_matrix(cols["src"], cols["dst"], cols["bytes"],
+                            (n_pes, n_pes))
+    return count, nbytes
+
+
+# ----------------------------------------------------------------------
+# shape
+# ----------------------------------------------------------------------
+
+def test_level_widths_geometric():
+    widths = level_widths(1_000_000, base=1024, floor=64)
+    assert all(w2 == 2 * w1 for w1, w2 in zip(widths, widths[1:]))
+    assert all(w & (w - 1) == 0 for w in widths)  # powers of two
+    # finest level has at most `base` buckets; log2(base/floor)+1 levels
+    assert -(-1_000_000 // widths[0]) <= 1024
+    assert len(widths) == (1024 // 64).bit_length()
+
+
+def test_pyramid_attrs_describe_every_level(profiled):
+    pyramid = build_pyramid(profiled.timeline)
+    assert pyramid.time_resolved
+    assert pyramid.levels == len(pyramid.widths) == len(pyramid.buckets())
+    attrs = pyramid.attrs()
+    assert attrs["n_pes"] == 4
+    assert list(attrs["widths"]) == list(pyramid.widths)
+
+
+# ----------------------------------------------------------------------
+# differential properties: every level is an exact aggregation
+# ----------------------------------------------------------------------
+
+def test_every_level_preserves_pe_occupancy_totals(profiled):
+    pyramid = build_pyramid(profiled.timeline)
+    base = _pe_totals(pyramid.pe_levels[0], pyramid.n_pes)
+    for k in range(1, pyramid.levels):
+        np.testing.assert_array_equal(
+            _pe_totals(pyramid.pe_levels[k], pyramid.n_pes), base)
+
+
+def test_every_level_preserves_edge_totals(profiled):
+    pyramid = build_pyramid(profiled.timeline)
+    count0, bytes0 = _edge_totals(pyramid.edge_levels[0], pyramid.n_pes)
+    for k in range(1, pyramid.levels):
+        count_k, bytes_k = _edge_totals(pyramid.edge_levels[k],
+                                        pyramid.n_pes)
+        np.testing.assert_array_equal(count_k, count0)
+        np.testing.assert_array_equal(bytes_k, bytes0)
+
+
+def test_pyramid_edges_match_full_decode_of_physical(lod_archive):
+    """Pyramid aggregates == full-decode Frame aggregation, per edge."""
+    with Archive(lod_archive) as archive:
+        n_pes = archive.n_pes
+        frame = Frame(archive.section("physical"))
+        src, dst = frame.column("src"), frame.column("dst")
+        count, size = frame.column("count"), frame.column("size")
+        full_count = scatter_matrix(src, dst, count, (n_pes, n_pes))
+        full_bytes = scatter_matrix(src, dst, count * size, (n_pes, n_pes))
+        for level in range(pyramid_info(archive).levels):
+            cols = read_level(archive, "edge", level)
+            lod_count, lod_bytes = _edge_totals(cols, n_pes)
+            np.testing.assert_array_equal(lod_count, full_count)
+            np.testing.assert_array_equal(lod_bytes, full_bytes)
+
+
+def test_pyramid_occupancy_matches_overall_section(lod_archive):
+    with Archive(lod_archive) as archive:
+        overall = load_overall(archive)
+        t_main = np.asarray(overall.t_main, dtype=np.int64)
+        t_proc = np.asarray(overall.t_proc, dtype=np.int64)
+        t_comm = np.asarray(overall.t_total, dtype=np.int64) - t_main - t_proc
+        for level in range(pyramid_info(archive).levels):
+            cols = read_level(archive, "pe", level)
+            totals = _pe_totals(cols, archive.n_pes)
+            np.testing.assert_array_equal(totals[:, 0], t_main)
+            np.testing.assert_array_equal(totals[:, 1], t_proc)
+            np.testing.assert_array_equal(totals[:, 2], t_comm)
+
+
+def test_read_level_roundtrips_the_in_memory_pyramid(profiled, lod_archive):
+    pyramid = build_pyramid(profiled.timeline)
+    with Archive(lod_archive) as archive:
+        for k in range(pyramid.levels):
+            cols = read_level(archive, "pe", k)
+            for c in ("bucket", "pe", "t_main", "t_proc", "t_comm"):
+                np.testing.assert_array_equal(
+                    cols[c], np.asarray(pyramid.pe_levels[k][c]))
+
+
+def test_read_level_decodes_only_lod_sections(lod_archive):
+    """The decode spy: a viz-style read touches no raw event columns."""
+    with Archive(lod_archive) as archive:
+        read_level(archive, "pe", 2)
+        read_level(archive, "edge", 2)
+        touched = {section for section, _ in archive.decoded_columns}
+        assert touched <= {PE_SECTION, EDGE_SECTION}
+
+
+# ----------------------------------------------------------------------
+# golden-archive byte identity + backfill compatibility
+# ----------------------------------------------------------------------
+
+def test_export_with_lod_is_deterministic(tmp_path):
+    paths = []
+    for i in range(2):
+        ap = ActorProf(ProfileFlags.all(enable_timeline=True))
+        histogram(300, 64, MachineSpec(2, 2), profiler=ap)
+        paths.append(ap.export_archive(tmp_path / f"r{i}.aptrc",
+                                       meta={"app": "h"}, lod=True))
+    assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
+@pytest.mark.parametrize("name", ["histogram", "triangle"])
+def test_backfill_golden_is_deterministic(name, tmp_path):
+    golden = GOLDEN_DIR / f"{name}.aptrc"
+    out_a = backfill_pyramid(golden, tmp_path / "a.aptrc")
+    out_b = backfill_pyramid(golden, tmp_path / "b.aptrc")
+    assert out_a.read_bytes() == out_b.read_bytes()
+    # the original bytes minus footer+trailer are a strict prefix: old
+    # readers' chunk offsets stay valid
+    original = golden.read_bytes()
+    from repro.core.store.lod import _split_archive
+
+    data, _ = _split_archive(golden)
+    assert original.startswith(data)
+    assert out_a.read_bytes().startswith(data)
+
+
+def test_backfill_is_idempotent(tmp_path):
+    golden = GOLDEN_DIR / "histogram.aptrc"
+    path = tmp_path / "h.aptrc"
+    path.write_bytes(golden.read_bytes())
+    backfill_pyramid(path)
+    first = path.read_bytes()
+    backfill_pyramid(path)  # already pyramided → no-op
+    assert path.read_bytes() == first
+
+
+def test_backfill_preserves_existing_sections_exactly(tmp_path):
+    golden = GOLDEN_DIR / "histogram.aptrc"
+    filled = backfill_pyramid(golden, tmp_path / "filled.aptrc")
+    with Archive(golden) as before, Archive(filled) as after:
+        assert before.meta == after.meta
+        assert set(after.sections) == set(before.sections) | {
+            PE_SECTION, EDGE_SECTION}
+        for name in before.sections:
+            old, new = before.section(name), after.section(name)
+            assert old.rows == new.rows
+            for column in old.columns:
+                np.testing.assert_array_equal(old.column(column),
+                                              new.column(column))
+    # the full loader (the pre-pyramid reader path) is unaffected
+    run_before, run_after = load_run(golden), load_run(filled)
+    assert run_before.logical.total_sends() == run_after.logical.total_sends()
+    assert run_before.meta == run_after.meta
+
+
+def test_backfilled_pyramid_is_flat_but_queryable(tmp_path):
+    filled = backfill_pyramid(GOLDEN_DIR / "histogram.aptrc",
+                              tmp_path / "f.aptrc")
+    with Archive(filled) as archive:
+        assert has_pyramid(archive)
+        info = pyramid_info(archive)
+        assert info is not None and not info.time_resolved
+        assert info.levels == 1
+        view = LodView.from_archive(archive)
+        window = view.edge_window(res=1)
+        assert window.count.sum() > 0
+
+
+def test_legacy_archive_degrades_gracefully(tmp_path):
+    golden = GOLDEN_DIR / "histogram.aptrc"
+    with Archive(golden) as archive:
+        assert not has_pyramid(archive)
+        assert pyramid_info(archive) is None
+        with pytest.raises(LodError, match="backfill"):
+            read_level(archive, "pe", 0)
+        # open_lod falls back to building a flat pyramid in memory
+        view = open_lod(archive)
+        assert view.edge_window(res=1).count.sum() > 0
+
+
+# ----------------------------------------------------------------------
+# viewport queries (core.lod)
+# ----------------------------------------------------------------------
+
+def test_select_level_prefers_coarsest_that_meets_res(lod_archive):
+    with Archive(lod_archive) as archive:
+        view = LodView.from_archive(archive)
+        levels = view.info.levels
+        # full window at res=1: any level has >= 1 bucket → coarsest wins
+        assert view.select_level(0, view.horizon, 1) == levels - 1
+        # an impossible resolution falls back to the finest level
+        assert view.select_level(0, view.horizon, 10 ** 9) == 0
+        # shrinking the window monotonically refines the level
+        picked = [view.select_level(0, view.horizon // (2 ** i), 16)
+                  for i in range(4)]
+        assert picked == sorted(picked, reverse=True)
+
+
+def test_viewport_snaps_to_bucket_boundaries(lod_archive):
+    with Archive(lod_archive) as archive:
+        view = LodView.from_archive(archive)
+        vp = view.viewport(1000, view.horizon - 1000, 16)
+        assert vp.t0 % vp.width == 0
+        assert vp.t0 <= 1000 and vp.t1 >= view.horizon - 1000
+        assert vp.buckets >= 1
+
+
+def test_pe_series_totals_match_level_zero(lod_archive):
+    with Archive(lod_archive) as archive:
+        view = LodView.from_archive(archive)
+        series = view.pe_series(res=DEFAULT_RES["gantt"])
+        cols = read_level(archive, "pe", series.viewport.level)
+        expected = _pe_totals(cols, view.n_pes)
+        np.testing.assert_array_equal(series.occ.sum(axis=1), expected)
+
+
+def test_refine_drills_into_one_bucket(lod_archive):
+    with Archive(lod_archive) as archive:
+        view = LodView.from_archive(archive)
+        vp = view.viewport(res=8)
+        child = view.refine(vp, bucket=0, res=8)
+        assert child.level <= vp.level
+        assert child.t0 >= vp.t0 and child.t1 <= vp.t1
